@@ -1,0 +1,293 @@
+package dfs
+
+// Benchmark harness: one benchmark family per experiment row of DESIGN.md
+// (E1–E7). `go test -bench=. -benchmem` regenerates the wall-clock side of
+// every table; cmd/dfsbench prints the model-cost side (depth, work,
+// passes, rounds). Reported custom metrics:
+//
+//	rounds/op   — critical-path traversal rounds (Theorem 13's polylog)
+//	depth/op    — model PRAM depth charged per update
+//	passes/op   — semi-streaming scheduled passes (Theorem 15)
+//	netrounds/op— CONGEST rounds (Theorem 16)
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+)
+
+func sizes() []int { return []int{256, 1024, 4096} }
+
+// E1: fully dynamic update vs baselines.
+
+func BenchmarkUpdateParallel(b *testing.B) {
+	for _, n := range sizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			g := GnpConnected(n, 3.0/float64(n), rng)
+			m := NewMaintainer(g)
+			var rounds, depth int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d0 := m.Machine().Depth()
+				benchUpdate(b, m, rng)
+				rounds += int64(m.LastStats().Rounds)
+				depth += m.Machine().Depth() - d0
+			}
+			b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+			b.ReportMetric(float64(depth)/float64(b.N), "depth/op")
+		})
+	}
+}
+
+func BenchmarkUpdateSequentialBaseline(b *testing.B) {
+	for _, n := range sizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			g := GnpConnected(n, 3.0/float64(n), rng)
+			m := NewMaintainerWith(g, Options{RebuildD: true, Sequential: true})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchUpdate(b, m, rng)
+			}
+		})
+	}
+}
+
+func BenchmarkUpdateStaticRecompute(b *testing.B) {
+	for _, n := range sizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			g := GnpConnected(n, 3.0/float64(n), rng)
+			r := baseline.NewRecompute(g)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if e, ok := RandomNonEdge(r.G, rng); ok {
+					if err := r.InsertEdge(e.U, e.V); err != nil {
+						b.Fatal(err)
+					}
+				} else if e, ok := RandomEdge(r.G, rng); ok {
+					if err := r.DeleteEdge(e.U, e.V); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// benchUpdate alternates insert/delete so the graph stays near its initial
+// density across b.N iterations.
+func benchUpdate(b *testing.B, m *Maintainer, rng *rand.Rand) {
+	b.Helper()
+	if rng.Intn(2) == 0 {
+		if e, ok := RandomNonEdge(m.Graph(), rng); ok {
+			if err := m.InsertEdge(e.U, e.V); err != nil {
+				b.Fatal(err)
+			}
+			return
+		}
+	}
+	if e, ok := RandomEdge(m.Graph(), rng); ok {
+		if err := m.DeleteEdge(e.U, e.V); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E2: fault tolerant batches.
+
+func BenchmarkFaultTolerantBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := GnpConnected(2048, 3.0/2048, rng)
+	ft := Preprocess(g, 8)
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			batches := make([][]Update, 16)
+			for i := range batches {
+				batches[i] = randomDeleteBatch(g, k, rng)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ft.Apply(batches[i%len(batches)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func randomDeleteBatch(g *Graph, k int, rng *rand.Rand) []Update {
+	scratch := g.Clone()
+	var batch []Update
+	for len(batch) < k {
+		if e, ok := RandomEdge(scratch, rng); ok {
+			if scratch.DeleteEdge(e.U, e.V) == nil {
+				batch = append(batch, Update{Kind: DeleteEdge, U: e.U, V: e.V})
+			}
+		}
+	}
+	return batch
+}
+
+// E3: semi-streaming updates.
+
+func BenchmarkStreamingUpdate(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			g := GnpConnected(n, 3.0/float64(n), rng)
+			s := NewStreaming(g)
+			mirror := g.Clone()
+			var passes int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if e, ok := RandomNonEdge(mirror, rng); ok && i%2 == 0 {
+					if mirror.InsertEdge(e.U, e.V) == nil {
+						if err := s.InsertEdge(e.U, e.V); err != nil {
+							b.Fatal(err)
+						}
+					}
+				} else if e, ok := RandomEdge(mirror, rng); ok {
+					if mirror.DeleteEdge(e.U, e.V) == nil {
+						if err := s.DeleteEdge(e.U, e.V); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				passes += int64(s.LastScheduledPasses())
+			}
+			b.ReportMetric(float64(passes)/float64(b.N), "passes/op")
+		})
+	}
+}
+
+// E4: distributed updates.
+
+func BenchmarkDistributedUpdate(b *testing.B) {
+	for _, layout := range [][2]int{{8, 32}, {32, 8}} {
+		b.Run(fmt.Sprintf("racks=%d", layout[0]), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(4))
+			g := CycleOfCliques(layout[0], layout[1])
+			m := NewDistributed(g, 0)
+			var rounds int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var u Update
+				if e, ok := RandomNonEdge(m.Core().Graph(), rng); ok && i%2 == 0 {
+					u = Update{Kind: InsertEdge, U: e.U, V: e.V}
+				} else if e, ok := RandomEdge(m.Core().Graph(), rng); ok {
+					u = Update{Kind: DeleteEdge, U: e.U, V: e.V}
+				} else {
+					continue
+				}
+				if _, err := m.Apply(u); err != nil {
+					b.Fatal(err)
+				}
+				rounds += m.LastRounds()
+			}
+			b.ReportMetric(float64(rounds)/float64(b.N), "netrounds/op")
+		})
+	}
+}
+
+// E5: building D (preprocessing).
+
+func BenchmarkBuildD(b *testing.B) {
+	for _, n := range sizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(5))
+			g := GnpConnected(n, 4.0/float64(n), rng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := NewMaintainer(g)
+				_ = m.D()
+			}
+		})
+	}
+}
+
+// E7: rerooting in isolation, random vs adversarial.
+
+func BenchmarkRerootRandom(b *testing.B) {
+	for _, n := range sizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(6))
+			g := GnpConnected(n, 3.0/float64(n), rng)
+			m := NewMaintainer(g)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Delete a tree edge (forces a reroot), restore it.
+				e := deepTreeEdge(m)
+				if err := m.DeleteEdge(e.U, e.V); err != nil {
+					b.Fatal(err)
+				}
+				if err := m.InsertEdge(e.U, e.V); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRerootBroom(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := BroomGraph(n, n/2)
+			m := NewMaintainer(g)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := deepTreeEdge(m)
+				if err := m.DeleteEdge(e.U, e.V); err != nil {
+					b.Fatal(err)
+				}
+				if err := m.InsertEdge(e.U, e.V); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func deepTreeEdge(m *Maintainer) Edge {
+	t := m.Tree()
+	g := m.Graph()
+	best, bestSz := Edge{}, -1
+	for v := 0; v < g.NumVertexSlots(); v++ {
+		if t.Present(v) && t.Parent[v] != m.PseudoRoot() && t.Parent[v] != None {
+			if t.Size(v) > bestSz {
+				best, bestSz = Edge{U: t.Parent[v], V: v}, t.Size(v)
+			}
+		}
+	}
+	return best
+}
+
+// Substrate micro-benchmarks.
+
+func BenchmarkStaticDFS(b *testing.B) {
+	for _, n := range sizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(7))
+			g := GnpConnected(n, 4.0/float64(n), rng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = StaticDFS(g)
+			}
+		})
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	g := GnpConnected(1024, 4.0/1024, rng)
+	m := NewMaintainer(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Verify(m.Graph(), m.Tree(), m.PseudoRoot()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package dfs is a Go implementation of "Near Optimal Parallel Algorithms
+// for Dynamic DFS in Undirected Graphs" (Shahbaz Khan, SPAA 2017,
+// arXiv:1705.03637).
+//
+// Given an undirected graph subject to an online sequence of edge/vertex
+// insertions and deletions, the library maintains a depth-first-search tree
+// across updates using the paper's parallel rerooting procedure: each
+// update is reduced to rerooting disjoint subtrees (Section 3), and each
+// rerooting runs in O(log² n) rounds of batched independent queries on the
+// data structure D (Sections 4–5), for O(log³ n) EREW-PRAM time per update.
+//
+// Four execution models are provided, mirroring the paper's results:
+//
+//   - Maintainer — fully dynamic DFS (Theorem 13): O(log³ n) model depth
+//     per update on m processors.
+//   - FaultTolerant — preprocess once, answer any batch of k updates
+//     without rebuilding D (Theorem 14).
+//   - Streaming — semi-streaming maintenance with O(n) resident words and
+//     O(log² n) passes per update (Theorem 15).
+//   - Distributed — synchronous CONGEST(n/D) maintenance with O(D log² n)
+//     rounds per update (Theorem 16), on a discrete-event network cost
+//     simulator.
+//
+// Every produced tree satisfies the DFS property (all non-tree edges are
+// back edges), checkable with Verify. PRAM costs (depth/work) are recorded
+// analytically by the Machine attached to each maintainer; wall-clock
+// performance is measured by the repository's benchmarks.
+package dfs
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/bicon"
+	"repro/internal/core"
+	"repro/internal/distributed"
+	"repro/internal/dstruct"
+	"repro/internal/faulttol"
+	"repro/internal/graph"
+	"repro/internal/pram"
+	"repro/internal/reroot"
+	"repro/internal/stream"
+	"repro/internal/tree"
+	"repro/internal/verify"
+)
+
+// Graph is a mutable simple undirected graph with stable vertex IDs.
+type Graph = graph.Graph
+
+// Edge is an undirected edge.
+type Edge = graph.Edge
+
+// Tree is an immutable rooted tree with DFS numbering.
+type Tree = tree.Tree
+
+// None marks the absence of a vertex (the root's parent).
+const None = tree.None
+
+// Update describes one graph update.
+type Update = core.Update
+
+// Update kinds.
+const (
+	InsertEdge   = core.InsertEdge
+	DeleteEdge   = core.DeleteEdge
+	InsertVertex = core.InsertVertex
+	DeleteVertex = core.DeleteVertex
+)
+
+// Stats reports a rerooting's traversal behaviour.
+type Stats = reroot.Stats
+
+// Machine is the EREW PRAM cost accountant.
+type Machine = pram.Machine
+
+// Maintainer is the fully dynamic DFS algorithm (Theorem 13).
+type Maintainer = core.DynamicDFS
+
+// Options configure a Maintainer.
+type Options = core.Options
+
+// FaultTolerant is the preprocess-once structure of Theorem 14.
+type FaultTolerant = faulttol.FaultTolerant
+
+// FaultTolerantResult is one batch's outcome.
+type FaultTolerantResult = faulttol.Result
+
+// Streaming is the semi-streaming maintainer of Theorem 15.
+type Streaming = stream.Maintainer
+
+// Distributed is the CONGEST(B) maintainer of Theorem 16.
+type Distributed = distributed.Maintainer
+
+// Network is the CONGEST cost simulator.
+type Network = distributed.Network
+
+// D is the paper's query structure (Theorems 8–9), exposed for advanced
+// use (custom rerooting drivers).
+type D = dstruct.D
+
+// NewGraph returns a graph with n isolated vertices.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// FromEdges builds a graph on n vertices from an edge list.
+func FromEdges(n int, edges []Edge) (*Graph, error) { return graph.FromEdges(n, edges) }
+
+// NewMaintainer builds the fully dynamic maintainer over a copy of g.
+func NewMaintainer(g *Graph) *Maintainer { return core.NewFullyDynamic(g) }
+
+// NewMaintainerWith builds a maintainer with explicit options (sequential
+// baseline mode, custom machine, vertex-ID headroom).
+func NewMaintainerWith(g *Graph, opt Options) *Maintainer { return core.New(g, opt) }
+
+// Preprocess builds the fault-tolerant structure; maxUpdates bounds the
+// batch size (the paper's k).
+func Preprocess(g *Graph, maxUpdates int) *FaultTolerant {
+	return faulttol.Preprocess(g, maxUpdates)
+}
+
+// NewStreaming builds the semi-streaming maintainer over g's edges.
+func NewStreaming(g *Graph) *Streaming { return stream.New(g) }
+
+// NewDistributed builds the CONGEST maintainer; b is the message size in
+// words (0 selects the paper's n/D).
+func NewDistributed(g *Graph, b int) *Distributed { return distributed.New(g, b) }
+
+// StaticDFS computes a DFS tree of g with the classical O(m+n) algorithm
+// under the pseudo-root convention (root ID = g.NumVertexSlots()).
+func StaticDFS(g *Graph) *Tree { return baseline.StaticDFS(g) }
+
+// Verify checks that t is a DFS tree of g under the pseudo-root convention
+// used by the maintainers: nil means valid.
+func Verify(g *Graph, t *Tree, pseudoRoot int) error {
+	return verify.DFSForest(g, t, pseudoRoot)
+}
+
+// Biconnectivity is the articulation/bridge/biconnected-component analysis
+// computed from a DFS tree (the classical DFS applications of the paper's
+// introduction).
+type Biconnectivity = bicon.Analysis
+
+// AnalyzeBiconnectivity computes articulation points, bridges and
+// biconnected components of g from its DFS tree t.
+func AnalyzeBiconnectivity(g *Graph, t *Tree, pseudoRoot int) *Biconnectivity {
+	return bicon.Analyze(g, t, pseudoRoot, nil)
+}

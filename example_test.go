@@ -1,0 +1,61 @@
+package dfs_test
+
+import (
+	"fmt"
+
+	dfs "repro"
+)
+
+// ExampleNewMaintainer shows the fully dynamic workflow: build once, apply
+// updates, read the tree.
+func ExampleNewMaintainer() {
+	g := dfs.PathGraph(5) // 0-1-2-3-4
+	m := dfs.NewMaintainer(g)
+
+	// Closing the path into a cycle adds a back edge: tree unchanged.
+	_ = m.InsertEdge(4, 0)
+	// Deleting a tree edge reroots the cut-off subtree through the cycle.
+	_ = m.DeleteEdge(1, 2)
+
+	t := m.Tree()
+	fmt.Println("parent of 2:", t.Parent[2])
+	fmt.Println("valid:", dfs.Verify(m.Graph(), t, m.PseudoRoot()) == nil)
+	// Output:
+	// parent of 2: 3
+	// valid: true
+}
+
+// ExamplePreprocess shows the fault tolerant workflow of Theorem 14:
+// preprocess once, answer independent failure batches.
+func ExamplePreprocess() {
+	g := dfs.CycleGraph(8)
+	ft := dfs.Preprocess(g, 4)
+
+	res, _ := ft.Apply([]dfs.Update{
+		{Kind: dfs.DeleteEdge, U: 2, V: 3},
+		{Kind: dfs.DeleteEdge, U: 6, V: 7},
+	})
+	fmt.Println("valid:", dfs.Verify(res.Graph, res.Tree, res.PseudoRoot) == nil)
+	_, comps := res.Graph.ConnectedComponents()
+	fmt.Println("components after 2 failures:", comps)
+	// Output:
+	// valid: true
+	// components after 2 failures: 2
+}
+
+// ExampleAnalyzeBiconnectivity derives cut structure from the maintained
+// DFS tree.
+func ExampleAnalyzeBiconnectivity() {
+	// Two triangles sharing vertex 0 — a bowtie.
+	g, _ := dfs.FromEdges(5, []dfs.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
+		{U: 0, V: 3}, {U: 3, V: 4}, {U: 4, V: 0},
+	})
+	m := dfs.NewMaintainer(g)
+	a := dfs.AnalyzeBiconnectivity(m.Graph(), m.Tree(), m.PseudoRoot())
+	fmt.Println("articulation points:", a.ArticulationPoints())
+	fmt.Println("biconnected components:", a.NumComponents())
+	// Output:
+	// articulation points: [0]
+	// biconnected components: 2
+}

@@ -1,0 +1,156 @@
+// Package baseline implements the comparison algorithms the paper measures
+// against: the classical static O(m+n) DFS (Tarjan 1972), the
+// recompute-from-scratch dynamic strategy, and a sequential Õ(n)-per-update
+// rerooting algorithm in the style of Baswana, Chaudhury, Choudhary and Khan
+// (SODA 2016), which the paper's parallel algorithm is built upon.
+package baseline
+
+import (
+	"repro/internal/graph"
+	"repro/internal/tree"
+)
+
+// StaticDFS computes a DFS tree of g using the paper's pseudo-root
+// convention: a virtual root r (ID = NumVertexSlots(), i.e. one past the
+// last real vertex) is connected to every live vertex, so disconnected
+// graphs yield a single tree whose root children are component roots.
+// Neighbors are visited in increasing vertex order, making the result
+// deterministic. Runs in O(m+n).
+func StaticDFS(g *graph.Graph) *tree.Tree {
+	n := g.NumVertexSlots()
+	root := n
+	parent := make([]int, n+1)
+	present := make([]bool, n+1)
+	for i := range parent {
+		parent[i] = tree.None
+	}
+	present[root] = true
+	visited := make([]bool, n+1)
+	visited[root] = true
+
+	snap := g.Snapshot()
+	// Iterative DFS with explicit next-neighbor cursors.
+	cursor := make([]int, n)
+	stack := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		if !g.IsVertex(s) {
+			continue
+		}
+		present[s] = true
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		parent[s] = root
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			row := snap.Row(v)
+			advanced := false
+			for cursor[v] < len(row) {
+				w := row[cursor[v]]
+				cursor[v]++
+				if !visited[w] {
+					visited[w] = true
+					parent[w] = v
+					stack = append(stack, w)
+					advanced = true
+					break
+				}
+			}
+			if !advanced {
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return tree.MustBuild(root, parent, present)
+}
+
+// StaticDFSFrom computes a DFS tree of the connected component of start,
+// rooted at start, with no pseudo-root. Vertices outside the component are
+// holes in the returned tree.
+func StaticDFSFrom(g *graph.Graph, start int) *tree.Tree {
+	n := g.NumVertexSlots()
+	parent := make([]int, n)
+	present := make([]bool, n)
+	for i := range parent {
+		parent[i] = tree.None
+	}
+	visited := make([]bool, n)
+	visited[start] = true
+	present[start] = true
+	snap := g.Snapshot()
+	cursor := make([]int, n)
+	stack := []int{start}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		row := snap.Row(v)
+		advanced := false
+		for cursor[v] < len(row) {
+			w := row[cursor[v]]
+			cursor[v]++
+			if !visited[w] {
+				visited[w] = true
+				present[w] = true
+				parent[w] = v
+				stack = append(stack, w)
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return tree.MustBuild(start, parent, present)
+}
+
+// Recompute is the trivial dynamic-DFS baseline: apply the update to the
+// graph and recompute the DFS tree from scratch (O(m+n) per update).
+type Recompute struct {
+	G *graph.Graph
+	T *tree.Tree
+}
+
+// NewRecompute builds the baseline over a clone of g.
+func NewRecompute(g *graph.Graph) *Recompute {
+	c := g.Clone()
+	return &Recompute{G: c, T: StaticDFS(c)}
+}
+
+// InsertEdge applies the update and recomputes.
+func (r *Recompute) InsertEdge(u, v int) error {
+	if err := r.G.InsertEdge(u, v); err != nil {
+		return err
+	}
+	r.T = StaticDFS(r.G)
+	return nil
+}
+
+// DeleteEdge applies the update and recomputes.
+func (r *Recompute) DeleteEdge(u, v int) error {
+	if err := r.G.DeleteEdge(u, v); err != nil {
+		return err
+	}
+	r.T = StaticDFS(r.G)
+	return nil
+}
+
+// InsertVertex applies the update and recomputes, returning the new ID.
+func (r *Recompute) InsertVertex(neighbors []int) (int, error) {
+	v, err := r.G.InsertVertex(neighbors)
+	if err != nil {
+		return -1, err
+	}
+	r.T = StaticDFS(r.G)
+	return v, nil
+}
+
+// DeleteVertex applies the update and recomputes.
+func (r *Recompute) DeleteVertex(v int) error {
+	if err := r.G.DeleteVertex(v); err != nil {
+		return err
+	}
+	r.T = StaticDFS(r.G)
+	return nil
+}

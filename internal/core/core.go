@@ -1,0 +1,288 @@
+// Package core implements the paper's fully dynamic DFS maintainer
+// (Theorem 13): it owns the current graph G, its DFS tree T (under the
+// pseudo-root convention of Section 2, so disconnected graphs are a single
+// tree whose root children are component roots), and the data structure D,
+// and processes an online sequence of edge/vertex insertions and deletions.
+//
+// Every update runs the reduction algorithm of Section 3 — updating the DFS
+// tree reduces to independently rerooting disjoint subtrees — and delegates
+// the rerooting to internal/reroot. In the default fully dynamic mode, D is
+// rebuilt on the new tree after each update (the paper's m-processor
+// O(log n) rebuild); with rebuilding disabled the maintainer accumulates
+// patches on the original D instead, which is the engine of the
+// fault-tolerant algorithm (Theorem 14).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dstruct"
+	"repro/internal/graph"
+	"repro/internal/lca"
+	"repro/internal/pram"
+	"repro/internal/reroot"
+	"repro/internal/tree"
+)
+
+// UpdateKind enumerates the paper's extended update model.
+type UpdateKind int
+
+const (
+	InsertEdge UpdateKind = iota
+	DeleteEdge
+	InsertVertex
+	DeleteVertex
+)
+
+func (k UpdateKind) String() string {
+	switch k {
+	case InsertEdge:
+		return "insert-edge"
+	case DeleteEdge:
+		return "delete-edge"
+	case InsertVertex:
+		return "insert-vertex"
+	case DeleteVertex:
+		return "delete-vertex"
+	}
+	return "unknown"
+}
+
+// Update is one graph update. For InsertVertex, Neighbors holds the new
+// vertex's edge set; for DeleteVertex, U is the vertex.
+type Update struct {
+	Kind      UpdateKind
+	U, V      int
+	Neighbors []int
+}
+
+// Options configure a DynamicDFS.
+type Options struct {
+	// RebuildD controls whether D is rebuilt after every update (fully
+	// dynamic mode, default for NewFullyDynamic) or patched in place (the
+	// fault tolerant algorithm's use).
+	RebuildD bool
+	// Headroom reserves vertex-ID slots between the graph and the pseudo
+	// root so vertex insertions do not displace it. Default 64.
+	Headroom int
+	// Machine receives the PRAM cost accounting; a fresh one is created if
+	// nil.
+	Machine *pram.Machine
+	// Sequential selects the Baswana-et-al-style sequential rerooting
+	// baseline instead of the paper's parallel scheduler.
+	Sequential bool
+}
+
+// DynamicDFS maintains a DFS tree of a dynamic undirected graph.
+type DynamicDFS struct {
+	g      *graph.Graph
+	t      *tree.Tree
+	l      *lca.Index
+	d      *dstruct.D
+	m      *pram.Machine
+	pseudo int
+
+	rebuildD   bool
+	headroom   int
+	sequential bool
+	lastStats  reroot.Stats
+	updates    int
+}
+
+// New builds the maintainer over a clone of g: computes the initial DFS
+// tree (static preprocessing) and the data structure D.
+func New(g *graph.Graph, opt Options) *DynamicDFS {
+	if opt.Headroom <= 0 {
+		opt.Headroom = 64
+	}
+	m := opt.Machine
+	if m == nil {
+		m = pram.NewMachine(2*g.NumEdges() + g.NumVertexSlots() + 1)
+	}
+	dd := &DynamicDFS{
+		g:          g.Clone(),
+		m:          m,
+		rebuildD:   opt.RebuildD,
+		headroom:   opt.Headroom,
+		sequential: opt.Sequential,
+	}
+	dd.pseudo = dd.g.NumVertexSlots() + dd.headroom
+	dd.rebuildTreeFromScratch()
+	dd.d = dstruct.Build(dd.g, dd.t, dd.m)
+	return dd
+}
+
+// NewFullyDynamic is New with fully dynamic defaults.
+func NewFullyDynamic(g *graph.Graph) *DynamicDFS {
+	return New(g, Options{RebuildD: true})
+}
+
+// NewFromState assembles a maintainer over pre-built state without copying:
+// the fault-tolerant algorithm uses this to run an update batch against a
+// shared original D while the tree evolves. The caller owns resetting d's
+// patches afterwards. t must be g's DFS tree rooted at pseudo, and d built
+// on a tree whose queries remain valid for t (Theorem 9).
+func NewFromState(g *graph.Graph, t *tree.Tree, d *dstruct.D, pseudo int, m *pram.Machine) *DynamicDFS {
+	if m == nil {
+		m = pram.NewMachine(t.Live())
+	}
+	return &DynamicDFS{
+		g:        g,
+		t:        t,
+		l:        lca.New(t),
+		d:        d,
+		m:        m,
+		pseudo:   pseudo,
+		rebuildD: false,
+		headroom: pseudo - g.NumVertexSlots(),
+	}
+}
+
+// Graph returns the maintained graph (callers must not mutate it).
+func (dd *DynamicDFS) Graph() *graph.Graph { return dd.g }
+
+// Tree returns the current DFS tree, rooted at the pseudo root; each child
+// subtree of the root is a DFS tree of one connected component.
+func (dd *DynamicDFS) Tree() *tree.Tree { return dd.t }
+
+// PseudoRoot returns the pseudo root's vertex ID.
+func (dd *DynamicDFS) PseudoRoot() int { return dd.pseudo }
+
+// D exposes the query structure (for the fault-tolerant wrapper).
+func (dd *DynamicDFS) D() *dstruct.D { return dd.d }
+
+// Machine returns the PRAM accounting machine.
+func (dd *DynamicDFS) Machine() *pram.Machine { return dd.m }
+
+// LastStats returns the rerooting statistics of the most recent update.
+func (dd *DynamicDFS) LastStats() reroot.Stats { return dd.lastStats }
+
+// Updates returns the number of updates processed.
+func (dd *DynamicDFS) Updates() int { return dd.updates }
+
+// present builds the presence mask for the tree (graph vertices + pseudo).
+func (dd *DynamicDFS) present() []bool {
+	p := make([]bool, dd.pseudo+1)
+	for v := 0; v < dd.g.NumVertexSlots(); v++ {
+		p[v] = dd.g.IsVertex(v)
+	}
+	p[dd.pseudo] = true
+	return p
+}
+
+// rebuildTreeFromScratch recomputes T with the classical static algorithm
+// (preprocessing only).
+func (dd *DynamicDFS) rebuildTreeFromScratch() {
+	n := dd.g.NumVertexSlots()
+	parent := make([]int, dd.pseudo+1)
+	for i := range parent {
+		parent[i] = tree.None
+	}
+	visited := make([]bool, n)
+	snap := dd.g.Snapshot()
+	cursor := make([]int, n)
+	stack := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		if !dd.g.IsVertex(s) || visited[s] {
+			continue
+		}
+		visited[s] = true
+		parent[s] = dd.pseudo
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			row := snap.Row(v)
+			advanced := false
+			for cursor[v] < len(row) {
+				w := row[cursor[v]]
+				cursor[v]++
+				if !visited[w] {
+					visited[w] = true
+					parent[w] = v
+					stack = append(stack, w)
+					advanced = true
+					break
+				}
+			}
+			if !advanced {
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	dd.t = tree.MustBuild(dd.pseudo, parent, dd.present())
+	dd.l = lca.New(dd.t)
+}
+
+// finish installs the engine's result as the new tree and refreshes D.
+func (dd *DynamicDFS) finish(e *reroot.Engine) error {
+	nt, err := e.Result(dd.pseudo, dd.present())
+	if err != nil {
+		return fmt.Errorf("core: rebuilding tree: %w", err)
+	}
+	dd.installTree(nt)
+	dd.lastStats = e.Stats
+	return nil
+}
+
+func (dd *DynamicDFS) installTree(nt *tree.Tree) {
+	dd.t = nt
+	dd.l = lca.New(dd.t)
+	dd.updates++
+	if dd.rebuildD {
+		dd.d = dstruct.Build(dd.g, dd.t, dd.m)
+	}
+}
+
+// engine creates a rerooting engine for the current tree.
+func (dd *DynamicDFS) engine() *reroot.Engine {
+	e := reroot.New(dd.t, dd.l, dd.d, dd.m)
+	e.Sequential = dd.sequential
+	return e
+}
+
+// relocatePseudo moves the pseudo root to a higher ID with doubled
+// headroom, renaming it in the tree (all other vertex IDs are stable) and
+// rebuilding the derived structures.
+func (dd *DynamicDFS) relocatePseudo() {
+	oldPseudo := dd.pseudo
+	dd.headroom *= 2
+	dd.pseudo = dd.g.NumVertexSlots() + dd.headroom
+	parent := make([]int, dd.pseudo+1)
+	for i := range parent {
+		parent[i] = tree.None
+	}
+	for v := 0; v < dd.g.NumVertexSlots(); v++ {
+		if !dd.t.Present(v) {
+			continue
+		}
+		p := dd.t.Parent[v]
+		if p == oldPseudo {
+			p = dd.pseudo
+		}
+		parent[v] = p
+	}
+	dd.t = tree.MustBuild(dd.pseudo, parent, dd.present())
+	dd.l = lca.New(dd.t)
+	dd.d = dstruct.Build(dd.g, dd.t, dd.m)
+}
+
+// compRoot returns the root of v's component (the child of the pseudo root
+// on path(v, pseudo)).
+func (dd *DynamicDFS) compRoot(v int) int {
+	return dd.t.AncestorAtLevel(v, 1)
+}
+
+// lowestEdgeToPath finds the deepest edge from T(sub) landing on the tree
+// path [low..high] (high an ancestor of low), or ok=false. One batch of
+// independent queries in the PRAM accounting.
+func (dd *DynamicDFS) lowestEdgeToPath(sub, low, high int) (inside, on int, ok bool) {
+	walk := dd.t.PathUp(low, high) // low..high; "lowest" = nearest low
+	src := dd.t.SubtreeVertices(sub, nil)
+	lg := pram.Log2Ceil(dd.t.Live() + 1)
+	dd.m.Charge(lg, int64(len(src))*lg)
+	hit, ok := dd.d.EdgeToWalk(src, walk, false)
+	if !ok {
+		return 0, 0, false
+	}
+	return hit.U, hit.Z, true
+}

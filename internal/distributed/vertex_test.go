@@ -1,0 +1,91 @@
+package distributed
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+func TestVertexUpdatesOverNetwork(t *testing.T) {
+	rng := rand.New(rand.NewSource(233))
+	g := graph.GnpConnected(24, 0.15, rng)
+	m := New(g, 0)
+	// Vertex insertion: the update description carries the whole edge set —
+	// the Section 6.2.1 message-size lower-bound scenario.
+	nbrs := []int{0, 5, 11, 17}
+	if _, err := m.Apply(core.Update{Kind: core.InsertVertex, Neighbors: nbrs}); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.DFSForest(m.Core().Graph(), m.Core().Tree(), m.Core().PseudoRoot()); err != nil {
+		t.Fatal(err)
+	}
+	insRounds := m.LastRounds()
+	if insRounds <= 0 {
+		t.Fatal("no rounds for vertex insert")
+	}
+	// Vertex deletion triggers the articulation-point bookkeeping exchange.
+	if _, err := m.Apply(core.Update{Kind: core.DeleteVertex, U: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.DFSForest(m.Core().Graph(), m.Core().Tree(), m.Core().PseudoRoot()); err != nil {
+		t.Fatal(err)
+	}
+	if m.LastArticulationPoints() < 0 {
+		t.Fatal("articulation bookkeeping missing")
+	}
+}
+
+func TestDeletionSplitsNetwork(t *testing.T) {
+	// Deleting the cut vertex splits the network; the BFS forest and DFS
+	// forest must both track the two components.
+	g := graph.MustFromEdges(7, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, // triangle A
+		{U: 2, V: 3},                             // bridge vertex 3... via 2
+		{U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 3}, // triangle B
+		{U: 3, V: 6},
+	})
+	m := New(g, 0)
+	if _, err := m.Apply(core.Update{Kind: core.DeleteVertex, U: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.DFSForest(m.Core().Graph(), m.Core().Tree(), m.Core().PseudoRoot()); err != nil {
+		t.Fatal(err)
+	}
+	if _, k := m.Core().Graph().ConnectedComponents(); k != 3 {
+		t.Fatalf("components=%d want 3", k)
+	}
+	if m.Network().Depth() > 2 {
+		t.Fatalf("post-split BFS depth=%d", m.Network().Depth())
+	}
+}
+
+func TestBroadcastUpdateCosts(t *testing.T) {
+	nw := NewNetwork(2)
+	g := graph.Path(5)
+	nw.BuildBFS(g)
+	r0, m0 := nw.Rounds, nw.Messages
+	nw.BroadcastUpdate(6) // 3 chunks of 2 words
+	if nw.Rounds-r0 != int64(nw.Depth()+3) {
+		t.Fatalf("broadcast rounds=%d want depth+chunks=%d", nw.Rounds-r0, nw.Depth()+3)
+	}
+	if nw.Messages-m0 != int64(4*3) {
+		t.Fatalf("broadcast messages=%d want treeEdges*chunks=12", nw.Messages-m0)
+	}
+	nw.BroadcastUpdate(0) // free
+	if nw.Rounds-r0 != int64(nw.Depth()+3) {
+		t.Fatal("empty broadcast should be free")
+	}
+}
+
+func TestNetworkString(t *testing.T) {
+	nw := NewNetwork(0) // clamps to 1
+	if nw.B != 1 {
+		t.Fatalf("B=%d want 1", nw.B)
+	}
+	if s := nw.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}

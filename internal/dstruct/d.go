@@ -1,0 +1,193 @@
+// Package dstruct implements the paper's data structure D (Section 5.2,
+// Theorems 8 and 9): for each vertex v, the neighbor list N(v) sorted by
+// post-order index in the base DFS tree T. Because T is a DFS tree, every
+// edge of G is a back edge, so the vertices of N(v) that are ancestors of v
+// appear sorted by their position on the root-to-v path — an edge from v to
+// any ancestor-descendant query path of T reduces to one binary search.
+//
+// The structure supports the paper's multi-update extension: edge/vertex
+// insertions and deletions are recorded as small patches consulted during
+// every search (Theorem 9's O(log n + k) search), so a D built once keeps
+// answering queries for the fault-tolerant algorithm while the DFS tree
+// evolves away from T.
+package dstruct
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/lca"
+	"repro/internal/pram"
+	"repro/internal/tree"
+)
+
+// D answers lowest/highest-edge queries against a fixed base tree T plus an
+// accumulated patch set.
+type D struct {
+	T   *tree.Tree
+	LCA *lca.Index
+
+	nbr [][]int32 // nbr[v] = neighbors of v sorted by post-order (base graph only)
+
+	inserted   map[int][]int           // patch: inserted-edge adjacency
+	deletedE   map[graph.Edge]struct{} // patch: deleted base edges (canonical)
+	patchVerts map[int]struct{}        // vertices with no base numbering
+	numPatches int
+
+	// Stats counts search effort for the experiment harness.
+	Stats Stats
+}
+
+// Stats aggregates search-effort counters.
+type Stats struct {
+	Searches    int64 // per-source per-run binary searches (fast path)
+	ScanSteps   int64 // filtered-scan steps (slow path, Case B and skip-deleted)
+	CaseB       int64 // searches where the source was an ancestor of the run
+	PatchScans  int64 // patch-list entries examined
+	WalkQueries int64 // EdgeToWalk-family invocations
+	RunsSplit   int64 // total base-tree fragments across all walk queries
+}
+
+// Build constructs D over graph g and its DFS tree t, charging the machine
+// the paper's preprocessing cost (Theorem 8: O(log n) depth on m
+// processors; per-vertex parallel merge sort of N(v)). mach may be nil.
+func Build(g *graph.Graph, t *tree.Tree, mach *pram.Machine) *D {
+	n := t.N()
+	d := &D{
+		T:          t,
+		LCA:        lca.New(t),
+		nbr:        make([][]int32, n),
+		inserted:   make(map[int][]int),
+		deletedE:   make(map[graph.Edge]struct{}),
+		patchVerts: make(map[int]struct{}),
+	}
+	maxDeg := 0
+	for v := 0; v < g.NumVertexSlots(); v++ {
+		if !g.IsVertex(v) {
+			continue
+		}
+		ns := g.SortedNeighbors(v)
+		row := make([]int32, len(ns))
+		for i, w := range ns {
+			row[i] = int32(w)
+		}
+		sort.Slice(row, func(i, j int) bool {
+			return t.Post(int(row[i])) < t.Post(int(row[j]))
+		})
+		d.nbr[v] = row
+		if len(row) > maxDeg {
+			maxDeg = len(row)
+		}
+	}
+	if mach != nil {
+		// One parallel merge sort per adjacency list, all in parallel on m
+		// processors: depth log(max degree), work sum |N(v)| log |N(v)|.
+		mach.Charge(pram.Log2Ceil(maxDeg), int64(2*g.NumEdges())*pram.Log2Ceil(maxDeg))
+	}
+	return d
+}
+
+// SizeWords returns the memory footprint of D in words, for the O(m) space
+// audit of Theorem 8.
+func (d *D) SizeWords() int64 {
+	var w int64
+	for _, row := range d.nbr {
+		w += int64(len(row))
+	}
+	for _, row := range d.inserted {
+		w += int64(len(row)) + 1
+	}
+	w += int64(len(d.deletedE)) * 2
+	w += int64(len(d.patchVerts))
+	return w
+}
+
+// NumPatches returns how many updates have been patched in since Build.
+func (d *D) NumPatches() int { return d.numPatches }
+
+// ResetPatches discards all accumulated patches, returning D to its
+// as-built state. The fault-tolerant algorithm calls this between update
+// batches (Theorem 14 reuses the original structure for every batch).
+func (d *D) ResetPatches() {
+	d.inserted = make(map[int][]int)
+	d.deletedE = make(map[graph.Edge]struct{})
+	d.patchVerts = make(map[int]struct{})
+	d.numPatches = 0
+}
+
+// IsPatchVertex reports whether v was inserted after Build (it has no
+// base-tree numbering).
+func (d *D) IsPatchVertex(v int) bool {
+	_, ok := d.patchVerts[v]
+	return ok
+}
+
+// PatchInsertEdge records edge (u,v) inserted after Build.
+func (d *D) PatchInsertEdge(u, v int) {
+	d.inserted[u] = append(d.inserted[u], v)
+	d.inserted[v] = append(d.inserted[v], u)
+	d.numPatches++
+}
+
+// PatchDeleteEdge records the deletion of edge (u,v).
+func (d *D) PatchDeleteEdge(u, v int) {
+	if d.removeInserted(u, v) {
+		d.removeInserted(v, u)
+	} else {
+		d.deletedE[graph.Edge{U: u, V: v}.Canon()] = struct{}{}
+	}
+	d.numPatches++
+}
+
+// PatchInsertVertex records a vertex inserted after Build, with its edges.
+func (d *D) PatchInsertVertex(v int, neighbors []int) {
+	d.patchVerts[v] = struct{}{}
+	d.inserted[v] = append([]int(nil), neighbors...)
+	for _, w := range neighbors {
+		d.inserted[w] = append(d.inserted[w], v)
+	}
+	d.numPatches++
+}
+
+// PatchDeleteVertex records the deletion of v along with all its incident
+// edges. neighbors must be v's neighbors at deletion time.
+func (d *D) PatchDeleteVertex(v int, neighbors []int) {
+	for _, w := range neighbors {
+		if d.removeInserted(v, w) {
+			d.removeInserted(w, v)
+		} else {
+			d.deletedE[graph.Edge{U: v, V: w}.Canon()] = struct{}{}
+		}
+	}
+	d.numPatches++
+}
+
+func (d *D) removeInserted(u, v int) bool {
+	row := d.inserted[u]
+	for i, w := range row {
+		if w == v {
+			row[i] = row[len(row)-1]
+			d.inserted[u] = row[:len(row)-1]
+			return true
+		}
+	}
+	return false
+}
+
+func (d *D) edgeDeleted(u, v int) bool {
+	_, ok := d.deletedE[graph.Edge{U: u, V: v}.Canon()]
+	return ok
+}
+
+func (d *D) hasBaseNumbering(v int) bool {
+	return v < d.T.N() && d.T.Present(v) && !d.IsPatchVertex(v)
+}
+
+// Hit is a query result: graph edge (U, Z) with Z at index ZPos on the
+// queried walk.
+type Hit struct {
+	U, Z, ZPos int
+}
+
+func (h Hit) String() string { return fmt.Sprintf("(%d->%d@%d)", h.U, h.Z, h.ZPos) }

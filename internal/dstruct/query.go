@@ -1,0 +1,285 @@
+package dstruct
+
+// Query evaluation. A "walk" is the explicit vertex sequence of a path that
+// was just attached to the partially built DFS tree T*: walk[0] is the
+// attachment end (shallowest in T*), walk[len-1] the deepest. The paper's
+// "lowest edge on the path" is the hit with maximum ZPos; "highest" is
+// minimum ZPos.
+//
+// Internally the walk is split into maximal runs that are monotone
+// ancestor-descendant paths of the *base* tree T (Section 5.2's reduction of
+// queries on T*_i paths to queries on T paths). In fully dynamic mode the
+// engine's walks are already T-paths, giving O(1) runs; in fault tolerant
+// mode a walk decomposes into the O(log^{2(i-1)} n) fragments of Theorem 9.
+
+// run is a maximal T-monotone fragment of a walk.
+type run struct {
+	lo, hi int  // walk index range [lo, hi]
+	desc   bool // true if walk[lo] is the T-ancestor (walk descends in T)
+	patch  bool // singleton run at a patch vertex (no base numbering)
+}
+
+// splitRuns decomposes walk into runs. Exported for tests via SplitRunCount.
+func (d *D) splitRuns(walk []int) []run {
+	var runs []run
+	i := 0
+	for i < len(walk) {
+		if !d.hasBaseNumbering(walk[i]) {
+			runs = append(runs, run{lo: i, hi: i, patch: true})
+			i++
+			continue
+		}
+		j := i
+		var desc, have bool
+		for j+1 < len(walk) && d.hasBaseNumbering(walk[j+1]) {
+			a, b := walk[j], walk[j+1]
+			var stepDesc bool
+			switch {
+			case d.T.Parent[b] == a:
+				stepDesc = true
+			case d.T.Parent[a] == b:
+				stepDesc = false
+			default:
+				goto done
+			}
+			if have && stepDesc != desc {
+				goto done
+			}
+			desc, have = stepDesc, true
+			j++
+		}
+	done:
+		runs = append(runs, run{lo: i, hi: j, desc: desc})
+		i = j + 1
+	}
+	return runs
+}
+
+// SplitRunCount returns the number of base-tree fragments the walk
+// decomposes into (the paper's fragment count; 1 in fully dynamic mode).
+func (d *D) SplitRunCount(walk []int) int { return len(d.splitRuns(walk)) }
+
+func (r run) top(walk []int) int {
+	if r.desc {
+		return walk[r.lo]
+	}
+	return walk[r.hi]
+}
+
+func (r run) bot(walk []int) int {
+	if r.desc {
+		return walk[r.hi]
+	}
+	return walk[r.lo]
+}
+
+// zPos maps a tree vertex z known to lie on the run back to its walk index.
+func (d *D) zPos(r run, walk []int, z int) int {
+	top := r.top(walk)
+	depth := d.T.Level(z) - d.T.Level(top)
+	if r.desc {
+		return r.lo + depth
+	}
+	return r.hi - depth
+}
+
+// EdgeToWalk finds a graph edge from the source vertex set to the walk.
+// If fromEnd, it returns the hit with maximum ZPos (the paper's lowest
+// edge); otherwise minimum ZPos (highest edge). Sources must be disjoint
+// from the walk. Ties between sources resolve to the smallest U.
+func (d *D) EdgeToWalk(sources []int, walk []int, fromEnd bool) (Hit, bool) {
+	if len(sources) == 0 || len(walk) == 0 {
+		return Hit{}, false
+	}
+	runs := d.splitRuns(walk)
+	d.Stats.WalkQueries++
+	d.Stats.RunsSplit += int64(len(runs))
+	var pos map[int]int // lazy walk-position index for patch-edge hits
+	posOf := func(z int) (int, bool) {
+		if pos == nil {
+			pos = make(map[int]int, len(walk))
+			for i, v := range walk {
+				pos[v] = i
+			}
+		}
+		p, ok := pos[z]
+		return p, ok
+	}
+	best := Hit{ZPos: -1}
+	have := false
+	better := func(a, b Hit) bool { // does a beat b
+		if a.ZPos != b.ZPos {
+			if fromEnd {
+				return a.ZPos > b.ZPos
+			}
+			return a.ZPos < b.ZPos
+		}
+		return a.U < b.U
+	}
+	for _, u := range sources {
+		if h, ok := d.bestFromVertex(u, runs, walk, fromEnd, posOf); ok {
+			if !have || better(h, best) {
+				best, have = h, true
+			}
+		}
+	}
+	return best, have
+}
+
+// EdgeToWalkBySource returns, for each source in order, whether it has any
+// edge to the walk, stopping at the first source that does (used by the
+// heavy-subtree traversal's "deepest hang point" selection, where the pick
+// is by source priority rather than walk position). The returned hit uses
+// the source's best walk position under fromEnd.
+func (d *D) EdgeToWalkBySource(sources []int, walk []int, fromEnd bool) (Hit, bool) {
+	if len(walk) == 0 {
+		return Hit{}, false
+	}
+	runs := d.splitRuns(walk)
+	d.Stats.WalkQueries++
+	d.Stats.RunsSplit += int64(len(runs))
+	var pos map[int]int
+	posOf := func(z int) (int, bool) {
+		if pos == nil {
+			pos = make(map[int]int, len(walk))
+			for i, v := range walk {
+				pos[v] = i
+			}
+		}
+		p, ok := pos[z]
+		return p, ok
+	}
+	for _, u := range sources {
+		if h, ok := d.bestFromVertex(u, runs, walk, fromEnd, posOf); ok {
+			return h, true
+		}
+	}
+	return Hit{}, false
+}
+
+// HasEdgeToWalk reports whether any source has an edge to the walk.
+func (d *D) HasEdgeToWalk(sources []int, walk []int) bool {
+	_, ok := d.EdgeToWalk(sources, walk, true)
+	return ok
+}
+
+// bestFromVertex finds u's best hit across all runs plus patch edges.
+func (d *D) bestFromVertex(u int, runs []run, walk []int, fromEnd bool,
+	posOf func(int) (int, bool)) (Hit, bool) {
+
+	best := Hit{ZPos: -1}
+	have := false
+	take := func(h Hit) {
+		if !have || (fromEnd && h.ZPos > best.ZPos) || (!fromEnd && h.ZPos < best.ZPos) {
+			best, have = h, true
+		}
+	}
+	if d.hasBaseNumbering(u) {
+		for _, r := range runs {
+			if r.patch {
+				continue
+			}
+			if z, ok := d.searchRun(u, r, walk, fromEnd); ok {
+				take(Hit{U: u, Z: z, ZPos: d.zPos(r, walk, z)})
+			}
+		}
+	}
+	// Patch edges from u (inserted after Build): position via the walk map.
+	for _, z := range d.inserted[u] {
+		d.Stats.PatchScans++
+		if p, ok := posOf(z); ok {
+			take(Hit{U: u, Z: z, ZPos: p})
+		}
+	}
+	return best, have
+}
+
+// searchRun finds u's extremal base-graph neighbor on the run, preferring
+// the walk-end side when fromEnd. Returns the neighbor z.
+func (d *D) searchRun(u int, r run, walk []int, fromEnd bool) (int, bool) {
+	t := d.T
+	top, bot := r.top(walk), r.bot(walk)
+	// wantTreeHigh: do we want the hit nearest the run's tree-top?
+	// fromEnd means "nearest walk[hi]"; for a descending run walk[hi] is the
+	// tree-bottom, for an ascending run it is the tree-top.
+	wantTreeHigh := fromEnd != r.desc
+
+	switch {
+	case t.IsAncestor(top, u):
+		// Case A: u below the run's top; its neighbors on the run are
+		// exactly its ancestors with post in [post(l), post(top)],
+		// l = LCA(u, bot).
+		d.Stats.Searches++
+		l := d.LCA.LCA(u, bot)
+		return d.scanRange(u, t.Post(l), t.Post(top), wantTreeHigh, nil)
+	case t.IsAncestor(u, top):
+		// Case B (multi-update mode only): u is an ancestor of the whole
+		// run; candidates are descendants with post in [post(bot),
+		// post(top)], filtered to the run's chain.
+		d.Stats.Searches++
+		d.Stats.CaseB++
+		onRun := func(z int) bool {
+			return t.IsAncestor(top, z) && t.IsAncestor(z, bot)
+		}
+		return d.scanRange(u, t.Post(bot), t.Post(top), wantTreeHigh, onRun)
+	default:
+		// Incomparable: a base-graph edge would be a cross edge of T —
+		// impossible.
+		return 0, false
+	}
+}
+
+// scanRange searches nbr[u] within post-order range [lopost, hipost].
+// Entries nearer the tree-top have larger post, so wantTreeHigh scans from
+// the high end. filter (may be nil) restricts to run membership; deleted
+// edges are skipped.
+func (d *D) scanRange(u, lopost, hipost int, wantTreeHigh bool, filter func(int) bool) (int, bool) {
+	row := d.nbr[u]
+	t := d.T
+	lo := lowerBound(row, lopost, t.Post) // first index with post >= lopost
+	hi := upperBound(row, hipost, t.Post) // first index with post > hipost
+	if wantTreeHigh {
+		for i := hi - 1; i >= lo; i-- {
+			d.Stats.ScanSteps++
+			z := int(row[i])
+			if (filter == nil || filter(z)) && !d.edgeDeleted(u, z) {
+				return z, true
+			}
+		}
+	} else {
+		for i := lo; i < hi; i++ {
+			d.Stats.ScanSteps++
+			z := int(row[i])
+			if (filter == nil || filter(z)) && !d.edgeDeleted(u, z) {
+				return z, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func lowerBound(row []int32, post int, postOf func(int) int) int {
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if postOf(int(row[mid])) < post {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func upperBound(row []int32, post int, postOf func(int) int) int {
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if postOf(int(row[mid])) <= post {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

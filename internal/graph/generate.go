@@ -1,0 +1,236 @@
+package graph
+
+import (
+	"math/rand"
+)
+
+// Gnp returns an Erdős–Rényi G(n,p) random graph drawn from rng.
+// Sampling skips geometrically between edges, so the cost is O(n + m).
+func Gnp(n int, p float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	if p <= 0 || n < 2 {
+		return g
+	}
+	if p >= 1 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				mustInsert(g, u, v)
+			}
+		}
+		return g
+	}
+	// Iterate potential edge index with geometric skips.
+	u, v := 1, -1
+	lq := logq(p)
+	for u < n {
+		skip := geometric(rng, lq)
+		v += 1 + skip
+		for v >= u && u < n {
+			v -= u
+			u++
+		}
+		if u < n {
+			mustInsert(g, u, v)
+		}
+	}
+	return g
+}
+
+func logq(p float64) float64 {
+	// log(1-p); p in (0,1)
+	return log1p(-p)
+}
+
+func log1p(x float64) float64 {
+	// thin wrapper to keep math import localized
+	return mathLog1p(x)
+}
+
+// GnpConnected returns a connected G(n,p)-like graph: a uniform random
+// spanning tree is added first, then G(n,p) edges on top (duplicates skipped).
+func GnpConnected(n int, p float64, rng *rand.Rand) *Graph {
+	g := RandomTree(n, rng)
+	if p <= 0 {
+		return g
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p && !g.HasEdge(u, v) {
+				mustInsert(g, u, v)
+			}
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random labeled tree on n vertices
+// (random Prüfer-like attachment: vertex i attaches to a uniform j < i,
+// which is not uniform over labeled trees but is the standard random
+// recursive tree used for workload generation).
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		mustInsert(g, v, rng.Intn(v))
+	}
+	return g
+}
+
+// Path returns the path 0-1-2-...-n-1.
+func Path(n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		mustInsert(g, v-1, v)
+	}
+	return g
+}
+
+// Cycle returns the n-cycle.
+func Cycle(n int) *Graph {
+	g := Path(n)
+	if n >= 3 {
+		mustInsert(g, n-1, 0)
+	}
+	return g
+}
+
+// Star returns a star with center 0 and n-1 leaves.
+func Star(n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		mustInsert(g, 0, v)
+	}
+	return g
+}
+
+// Complete returns K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			mustInsert(g, u, v)
+		}
+	}
+	return g
+}
+
+// BinaryTree returns the complete binary tree on n vertices with root 0
+// (children of i are 2i+1 and 2i+2).
+func BinaryTree(n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		mustInsert(g, v, (v-1)/2)
+	}
+	return g
+}
+
+// Broom returns the "broom" adversarial instance for rerooting: a path of
+// length handle whose far end fans out into n-handle bristles, plus back
+// edges from every bristle to vertex 0. Rerooting from a bristle forces long
+// path structures. Requires n > handle >= 1.
+func Broom(n, handle int) *Graph {
+	g := New(n)
+	for v := 1; v <= handle; v++ {
+		mustInsert(g, v-1, v)
+	}
+	for v := handle + 1; v < n; v++ {
+		mustInsert(g, handle, v)
+		mustInsert(g, 0, v)
+	}
+	return g
+}
+
+// Grid returns the rows×cols grid graph; vertex (r,c) has ID r*cols+c.
+func Grid(rows, cols int) *Graph {
+	g := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				mustInsert(g, id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				mustInsert(g, id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// CycleOfCliques returns k cliques of size s arranged on a cycle, adjacent
+// cliques joined by one edge. Diameter is Θ(k); useful for the distributed
+// experiments that sweep diameter at fixed n.
+func CycleOfCliques(k, s int) *Graph {
+	g := New(k * s)
+	for c := 0; c < k; c++ {
+		base := c * s
+		for i := 0; i < s; i++ {
+			for j := i + 1; j < s; j++ {
+				mustInsert(g, base+i, base+j)
+			}
+		}
+		nxt := ((c + 1) % k) * s
+		if k > 1 && (c+1 < k || k > 2) {
+			if !g.HasEdge(base, nxt) {
+				mustInsert(g, base, nxt)
+			}
+		}
+	}
+	return g
+}
+
+// Caterpillar returns a spine path of length spine where spine vertex i has
+// legs pendant leaves attached.
+func Caterpillar(spine, legs int) *Graph {
+	g := New(spine + spine*legs)
+	for v := 1; v < spine; v++ {
+		mustInsert(g, v-1, v)
+	}
+	next := spine
+	for s := 0; s < spine; s++ {
+		for l := 0; l < legs; l++ {
+			mustInsert(g, s, next)
+			next++
+		}
+	}
+	return g
+}
+
+// RandomEdgeNotIn returns a uniformly random non-edge (u,v) between live
+// vertices, or ok=false if the live part of the graph is complete.
+func RandomEdgeNotIn(g *Graph, rng *rand.Rand) (Edge, bool) {
+	n := g.NumVertexSlots()
+	live := make([]int, 0, g.NumVertices())
+	for v := 0; v < n; v++ {
+		if g.IsVertex(v) {
+			live = append(live, v)
+		}
+	}
+	k := len(live)
+	maxE := k * (k - 1) / 2
+	if g.NumEdges() >= maxE || k < 2 {
+		return Edge{}, false
+	}
+	for {
+		u := live[rng.Intn(k)]
+		v := live[rng.Intn(k)]
+		if u != v && !g.HasEdge(u, v) {
+			return Edge{u, v}.Canon(), true
+		}
+	}
+}
+
+// RandomExistingEdge returns a uniformly random edge of g, or ok=false if
+// the graph has no edges. O(m) per call; intended for test workloads.
+func RandomExistingEdge(g *Graph, rng *rand.Rand) (Edge, bool) {
+	if g.NumEdges() == 0 {
+		return Edge{}, false
+	}
+	es := g.Edges()
+	return es[rng.Intn(len(es))], true
+}
+
+func mustInsert(g *Graph, u, v int) {
+	if err := g.InsertEdge(u, v); err != nil {
+		panic(err)
+	}
+}

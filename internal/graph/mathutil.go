@@ -1,0 +1,21 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+)
+
+func mathLog1p(x float64) float64 { return math.Log1p(x) }
+
+// geometric samples the number of failures before the first success of a
+// Bernoulli(p) sequence, given lq = log(1-p). Used for G(n,p) edge skipping.
+func geometric(rng *rand.Rand, lq float64) int {
+	if lq >= 0 { // p <= 0: never succeeds; callers guard against this
+		return math.MaxInt32
+	}
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return int(math.Floor(math.Log(u) / lq))
+}

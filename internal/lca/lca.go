@@ -1,0 +1,110 @@
+// Package lca implements constant-time lowest-common-ancestor queries after
+// near-linear preprocessing, standing in for the Schieber–Vishkin structure
+// of Theorem 5/6 of the paper. The implementation is the classical reduction
+// to range-minimum over the Euler tour with a sparse table: O(n log n)
+// preprocessing, O(1) per query, trivially batched in parallel.
+package lca
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/tree"
+)
+
+// Index answers LCA queries on a fixed tree.
+type Index struct {
+	t      *tree.Tree
+	tour   []int
+	first  []int
+	depth  []int32 // depth of tour positions
+	sparse [][]int32
+}
+
+// New preprocesses t for LCA queries.
+func New(t *tree.Tree) *Index {
+	tour, first := t.EulerTour()
+	m := len(tour)
+	ix := &Index{t: t, tour: tour, first: first}
+	ix.depth = make([]int32, m)
+	for i, v := range tour {
+		ix.depth[i] = int32(t.Level(v))
+	}
+	levels := 1
+	if m > 1 {
+		levels = bits.Len(uint(m)) // floor(log2(m))+1
+	}
+	ix.sparse = make([][]int32, levels)
+	row0 := make([]int32, m)
+	for i := range row0 {
+		row0[i] = int32(i)
+	}
+	ix.sparse[0] = row0
+	for k := 1; k < levels; k++ {
+		half := 1 << (k - 1)
+		width := m - (1 << k) + 1
+		if width <= 0 {
+			ix.sparse = ix.sparse[:k]
+			break
+		}
+		row := make([]int32, width)
+		prev := ix.sparse[k-1]
+		for i := 0; i < width; i++ {
+			a, b := prev[i], prev[i+half]
+			if ix.depth[a] <= ix.depth[b] {
+				row[i] = a
+			} else {
+				row[i] = b
+			}
+		}
+		ix.sparse[k] = row
+	}
+	return ix
+}
+
+// LCA returns the lowest common ancestor of u and v.
+func (ix *Index) LCA(u, v int) int {
+	fu, fv := ix.first[u], ix.first[v]
+	if fu < 0 || fv < 0 {
+		panic(fmt.Sprintf("lca: query on non-tree vertex (%d,%d)", u, v))
+	}
+	if fu > fv {
+		fu, fv = fv, fu
+	}
+	k := bits.Len(uint(fv-fu+1)) - 1
+	a := ix.sparse[k][fu]
+	b := ix.sparse[k][fv-(1<<k)+1]
+	if ix.depth[a] <= ix.depth[b] {
+		return ix.tour[a]
+	}
+	return ix.tour[b]
+}
+
+// IsBackEdge reports whether graph edge (u,v) is a back edge w.r.t. the
+// indexed tree: one endpoint is an ancestor of the other.
+func (ix *Index) IsBackEdge(u, v int) bool {
+	l := ix.LCA(u, v)
+	return l == u || l == v
+}
+
+// OnPath reports whether x lies on the tree path between ancestor up and
+// descendant down (up must be an ancestor of down).
+func (ix *Index) OnPath(x, up, down int) bool {
+	return ix.t.IsAncestor(up, x) && ix.t.IsAncestor(x, down)
+}
+
+// Batch answers k independent LCA queries; in the PRAM accounting this is a
+// single O(log n)-depth EREW step (Theorem 6).
+func (ix *Index) Batch(us, vs []int, out []int) []int {
+	if len(us) != len(vs) {
+		panic("lca: Batch length mismatch")
+	}
+	if cap(out) < len(us) {
+		out = make([]int, len(us))
+	}
+	out = out[:len(us)]
+	for i := range us {
+		out[i] = ix.LCA(us[i], vs[i])
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package lca
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func randomTree(n int, rng *rand.Rand) *tree.Tree {
+	parent := make([]int, n)
+	parent[0] = tree.None
+	for v := 1; v < n; v++ {
+		parent[v] = rng.Intn(v)
+	}
+	return tree.MustBuild(0, parent, nil)
+}
+
+// naiveLCA walks parent pointers.
+func naiveLCA(t *tree.Tree, u, v int) int {
+	seen := map[int]bool{}
+	for x := u; x != tree.None; x = t.Parent[x] {
+		seen[x] = true
+	}
+	for x := v; ; x = t.Parent[x] {
+		if seen[x] {
+			return x
+		}
+	}
+}
+
+func TestLCAAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{1, 2, 3, 10, 57, 200} {
+		tr := randomTree(n, rng)
+		ix := New(tr)
+		for trial := 0; trial < 300; trial++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if got, want := ix.LCA(u, v), naiveLCA(tr, u, v); got != want {
+				t.Fatalf("n=%d LCA(%d,%d)=%d want %d", n, u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestLCAChain(t *testing.T) {
+	parent := []int{tree.None, 0, 1, 2, 3}
+	tr := tree.MustBuild(0, parent, nil)
+	ix := New(tr)
+	if ix.LCA(4, 2) != 2 {
+		t.Fatalf("chain LCA(4,2)=%d", ix.LCA(4, 2))
+	}
+	if ix.LCA(0, 4) != 0 {
+		t.Fatalf("chain LCA(0,4)=%d", ix.LCA(0, 4))
+	}
+	if ix.LCA(3, 3) != 3 {
+		t.Fatalf("LCA(v,v)=%d", ix.LCA(3, 3))
+	}
+}
+
+func TestIsBackEdgeAndOnPath(t *testing.T) {
+	// Star: 0 center, leaves 1..4.
+	parent := []int{tree.None, 0, 0, 0, 0}
+	tr := tree.MustBuild(0, parent, nil)
+	ix := New(tr)
+	if !ix.IsBackEdge(0, 3) {
+		t.Fatal("center-leaf should be back edge")
+	}
+	if ix.IsBackEdge(1, 2) {
+		t.Fatal("leaf-leaf should be cross edge")
+	}
+	if !ix.OnPath(0, 0, 4) || !ix.OnPath(4, 0, 4) {
+		t.Fatal("endpoints should be on path")
+	}
+	if ix.OnPath(1, 0, 4) {
+		t.Fatal("sibling leaf is not on path(0,4)")
+	}
+}
+
+func TestBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	tr := randomTree(64, rng)
+	ix := New(tr)
+	us := make([]int, 100)
+	vs := make([]int, 100)
+	for i := range us {
+		us[i], vs[i] = rng.Intn(64), rng.Intn(64)
+	}
+	out := ix.Batch(us, vs, nil)
+	for i := range out {
+		if out[i] != ix.LCA(us[i], vs[i]) {
+			t.Fatalf("batch[%d] mismatch", i)
+		}
+	}
+}
+
+func TestSingleVertexTree(t *testing.T) {
+	tr := tree.MustBuild(0, []int{tree.None}, nil)
+	ix := New(tr)
+	if ix.LCA(0, 0) != 0 {
+		t.Fatal("singleton LCA broken")
+	}
+}

@@ -1,0 +1,173 @@
+// Package pram provides the EREW PRAM cost model the paper's theorems are
+// stated in, realized as an accounting machine plus parallel primitives.
+//
+// Real shared-memory hosts are not PRAMs, so the package separates two
+// concerns:
+//
+//   - Execution: primitives run with a bounded goroutine pool so wall-clock
+//     benchmarks see genuine parallelism on large inputs.
+//   - Accounting: every primitive analytically charges the model time
+//     ("depth", parallel steps) and work (total operations) that the paper's
+//     theorems charge for it on an EREW PRAM with the machine's processor
+//     budget. Benchmarks report both, so the O(log³ n) shape of Theorem 1 is
+//     observable independent of host constant factors.
+//
+// Charging conventions (matching Section 5 of the paper):
+//
+//   - ParFor over n unit-work items: depth ⌈n/P⌉, work n.
+//   - Reduce / min / max over n items: depth ⌈log₂ n⌉ (+⌈n/P⌉ when n > P), work n.
+//   - PrefixSum: same as Reduce.
+//   - Sort of n keys: depth ⌈log₂ n⌉, work n·⌈log₂ n⌉ (Cole's parallel merge
+//     sort, Theorem 7; execution uses a conventional parallel merge sort,
+//     which only affects constants, not the recorded model costs).
+//   - A batch of k independent D-queries / LCA queries: depth ⌈log₂ n⌉,
+//     work k·⌈log₂ n⌉ (Theorems 6 and 8).
+package pram
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Machine is an EREW PRAM cost accountant with a processor budget. The zero
+// value is not usable; use NewMachine.
+type Machine struct {
+	procs   int // model processor budget (n or m in the theorems)
+	workers int // real goroutine parallelism
+
+	depth atomic.Int64
+	work  atomic.Int64
+	steps atomic.Int64 // number of charged primitive invocations
+}
+
+// NewMachine returns a machine with the given model processor budget.
+// procs <= 0 defaults to 1.
+func NewMachine(procs int) *Machine {
+	if procs <= 0 {
+		procs = 1
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w < 1 {
+		w = 1
+	}
+	return &Machine{procs: procs, workers: w}
+}
+
+// Procs returns the model processor budget.
+func (m *Machine) Procs() int { return m.procs }
+
+// SetProcs changes the model processor budget (e.g. m processors for
+// preprocessing, n for updates, per Theorem 1).
+func (m *Machine) SetProcs(p int) {
+	if p <= 0 {
+		p = 1
+	}
+	m.procs = p
+}
+
+// Depth returns the accumulated model parallel time.
+func (m *Machine) Depth() int64 { return m.depth.Load() }
+
+// Work returns the accumulated model work (total operations).
+func (m *Machine) Work() int64 { return m.work.Load() }
+
+// Steps returns the number of charged primitive invocations.
+func (m *Machine) Steps() int64 { return m.steps.Load() }
+
+// Reset zeroes the accumulated costs.
+func (m *Machine) Reset() {
+	m.depth.Store(0)
+	m.work.Store(0)
+	m.steps.Store(0)
+}
+
+// Charge adds an explicit (depth, work) cost, for callers implementing their
+// own primitives on top of the machine.
+func (m *Machine) Charge(depth, work int64) {
+	if depth > 0 {
+		m.depth.Add(depth)
+	}
+	if work > 0 {
+		m.work.Add(work)
+	}
+	m.steps.Add(1)
+}
+
+// Log2Ceil returns ⌈log₂ n⌉ for n ≥ 1 (0 for n ≤ 1).
+func Log2Ceil(n int) int64 {
+	if n <= 1 {
+		return 0
+	}
+	d := int64(0)
+	for p := 1; p < n; p <<= 1 {
+		d++
+	}
+	return d
+}
+
+func (m *Machine) parForDepth(n int) int64 {
+	d := int64(n+m.procs-1) / int64(m.procs)
+	if d < 1 && n > 0 {
+		d = 1
+	}
+	return d
+}
+
+// serialCutoff is the size below which primitives run serially; below this
+// the goroutine fan-out costs more than it saves.
+const serialCutoff = 2048
+
+// ParFor runs fn(i) for i in [0,n) in parallel and charges ⌈n/P⌉ depth and
+// n work. fn must be safe to call concurrently for distinct i and must not
+// write locations shared between iterations (the EREW discipline).
+func (m *Machine) ParFor(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	m.Charge(m.parForDepth(n), int64(n))
+	if n < serialCutoff || m.workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + m.workers - 1) / m.workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParDo runs the given thunks in parallel and charges the depth of one
+// round (the thunks account their own inner costs against the machine).
+func (m *Machine) ParDo(fns ...func()) {
+	if len(fns) == 0 {
+		return
+	}
+	m.Charge(1, int64(len(fns)))
+	if len(fns) == 1 {
+		fns[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	for _, fn := range fns {
+		wg.Add(1)
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(fn)
+	}
+	wg.Wait()
+}

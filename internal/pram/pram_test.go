@@ -1,0 +1,188 @@
+package pram
+
+import (
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int64{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := Log2Ceil(n); got != want {
+			t.Errorf("Log2Ceil(%d)=%d want %d", n, got, want)
+		}
+	}
+}
+
+func TestParForCoversAllIndices(t *testing.T) {
+	m := NewMachine(64)
+	for _, n := range []int{0, 1, 100, 5000} {
+		hits := make([]int32, n)
+		m.ParFor(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d hit %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestParForAccounting(t *testing.T) {
+	m := NewMachine(10)
+	m.ParFor(100, func(int) {})
+	if m.Depth() != 10 {
+		t.Fatalf("depth=%d want ceil(100/10)=10", m.Depth())
+	}
+	if m.Work() != 100 {
+		t.Fatalf("work=%d want 100", m.Work())
+	}
+	m.Reset()
+	if m.Depth() != 0 || m.Work() != 0 || m.Steps() != 0 {
+		t.Fatal("Reset did not zero counters")
+	}
+}
+
+func TestReduce(t *testing.T) {
+	m := NewMachine(8)
+	for _, n := range []int{1, 7, 4096} {
+		xs := make([]int, n)
+		want := 0
+		for i := range xs {
+			xs[i] = i * 3
+			want += i * 3
+		}
+		got := Reduce(m, xs, 0, func(a, b int) int { return a + b })
+		if got != want {
+			t.Fatalf("n=%d: sum=%d want %d", n, got, want)
+		}
+	}
+	if Reduce(m, nil, -7, func(a, b int) int { return a + b }) != -7 {
+		t.Fatal("empty Reduce should return zero value")
+	}
+}
+
+func TestMinIndexBy(t *testing.T) {
+	m := NewMachine(8)
+	xs := []int{5, 2, 9, 2, 7}
+	if i := MinIndexBy(m, xs, func(a, b int) bool { return a < b }); i != 1 {
+		t.Fatalf("MinIndexBy=%d want 1 (lowest index tie-break)", i)
+	}
+	if i := MinIndexBy(m, nil, func(a, b int) bool { return a < b }); i != -1 {
+		t.Fatalf("empty MinIndexBy=%d want -1", i)
+	}
+}
+
+func TestPrefixSum(t *testing.T) {
+	m := NewMachine(4)
+	xs := []int{1, 2, 3, 4}
+	if total := PrefixSum(m, xs); total != 10 {
+		t.Fatalf("total=%d", total)
+	}
+	want := []int{1, 3, 6, 10}
+	for i := range xs {
+		if xs[i] != want[i] {
+			t.Fatalf("prefix[%d]=%d want %d", i, xs[i], want[i])
+		}
+	}
+}
+
+func TestSortBySmallAndLarge(t *testing.T) {
+	m := NewMachine(16)
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{0, 1, 2, 100, 10000} {
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = rng.Intn(1000)
+		}
+		ref := append([]int(nil), xs...)
+		sort.Ints(ref)
+		SortInts(m, xs)
+		for i := range xs {
+			if xs[i] != ref[i] {
+				t.Fatalf("n=%d: sorted[%d]=%d want %d", n, i, xs[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestSortByIsStable(t *testing.T) {
+	type kv struct{ k, seq int }
+	m := NewMachine(16)
+	rng := rand.New(rand.NewSource(43))
+	n := 8192 // above serialCutoff to exercise the parallel merge path
+	xs := make([]kv, n)
+	for i := range xs {
+		xs[i] = kv{k: rng.Intn(50), seq: i}
+	}
+	SortBy(m, xs, func(a, b kv) bool { return a.k < b.k })
+	for i := 1; i < n; i++ {
+		if xs[i-1].k > xs[i].k {
+			t.Fatal("not sorted")
+		}
+		if xs[i-1].k == xs[i].k && xs[i-1].seq > xs[i].seq {
+			t.Fatal("not stable")
+		}
+	}
+}
+
+func TestSortProperty(t *testing.T) {
+	m := NewMachine(8)
+	f := func(xs []int16) bool {
+		ys := make([]int, len(xs))
+		for i, x := range xs {
+			ys[i] = int(x)
+		}
+		SortInts(m, ys)
+		return sort.IntsAreSorted(ys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	m := NewMachine(8)
+	xs := []int{1, 2, 3, 4, 5, 6}
+	got := Filter(m, xs, func(x int) bool { return x%2 == 0 })
+	if len(got) != 3 || got[0] != 2 || got[2] != 6 {
+		t.Fatalf("Filter=%v", got)
+	}
+}
+
+func TestParDo(t *testing.T) {
+	m := NewMachine(4)
+	var a, b atomic.Int32
+	m.ParDo(func() { a.Store(1) }, func() { b.Store(2) })
+	if a.Load() != 1 || b.Load() != 2 {
+		t.Fatal("ParDo did not run all thunks")
+	}
+	m.ParDo() // no-op
+}
+
+func TestSortAccountingMatchesTheorem(t *testing.T) {
+	// Theorem 7 (Cole): sorting n keys charges ceil(log2 n) depth.
+	m := NewMachine(1 << 20)
+	xs := make([]int, 1024)
+	SortInts(m, xs)
+	if m.Depth() != 10 {
+		t.Fatalf("sort depth=%d want log2(1024)=10", m.Depth())
+	}
+	if m.Work() != 1024*10 {
+		t.Fatalf("sort work=%d want n log n", m.Work())
+	}
+}
+
+func TestSetProcs(t *testing.T) {
+	m := NewMachine(0)
+	if m.Procs() != 1 {
+		t.Fatalf("default procs=%d", m.Procs())
+	}
+	m.SetProcs(5)
+	m.ParFor(10, func(int) {})
+	if m.Depth() != 2 {
+		t.Fatalf("depth=%d want 2", m.Depth())
+	}
+}

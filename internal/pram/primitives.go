@@ -1,0 +1,168 @@
+package pram
+
+import (
+	"sort"
+	"sync"
+)
+
+// Reduce combines xs with the associative function combine, returning the
+// zero value for empty input. Charges ⌈log₂ n⌉ + ⌈n/P⌉ depth and n work,
+// the balanced-binary-tree EREW reduction cost.
+func Reduce[T any](m *Machine, xs []T, zero T, combine func(a, b T) T) T {
+	n := len(xs)
+	if n == 0 {
+		m.Charge(1, 1)
+		return zero
+	}
+	m.Charge(Log2Ceil(n)+m.parForDepth(n), int64(n))
+	if n < serialCutoff || m.workers == 1 {
+		acc := xs[0]
+		for _, x := range xs[1:] {
+			acc = combine(acc, x)
+		}
+		return acc
+	}
+	chunk := (n + m.workers - 1) / m.workers
+	partial := make([]T, 0, m.workers)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			acc := xs[lo]
+			for _, x := range xs[lo+1 : hi] {
+				acc = combine(acc, x)
+			}
+			mu.Lock()
+			partial = append(partial, acc)
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	acc := partial[0]
+	for _, x := range partial[1:] {
+		acc = combine(acc, x)
+	}
+	return acc
+}
+
+// MinIndexBy returns the index of the minimum element of xs under less,
+// or -1 for empty xs. Ties resolve to the lowest index so results are
+// deterministic. Standard EREW reduction cost.
+func MinIndexBy[T any](m *Machine, xs []T, less func(a, b T) bool) int {
+	n := len(xs)
+	if n == 0 {
+		m.Charge(1, 1)
+		return -1
+	}
+	idx := make([]int, n)
+	for k := range idx {
+		idx[k] = k
+	}
+	return Reduce(m, idx, -1, func(a, b int) int {
+		switch {
+		case a < 0:
+			return b
+		case b < 0:
+			return a
+		case less(xs[b], xs[a]):
+			return b
+		default:
+			return a
+		}
+	})
+}
+
+// PrefixSum replaces xs with its inclusive prefix sums and returns the
+// total. Charges the EREW scan cost: ⌈log₂ n⌉ + ⌈n/P⌉ depth, n work.
+func PrefixSum(m *Machine, xs []int) int {
+	n := len(xs)
+	m.Charge(Log2Ceil(n)+m.parForDepth(n), int64(n))
+	sum := 0
+	for i := range xs {
+		sum += xs[i]
+		xs[i] = sum
+	}
+	return sum
+}
+
+// SortBy sorts xs by less. Model cost is Cole's parallel merge sort
+// (Theorem 7): ⌈log₂ n⌉ depth, n·⌈log₂ n⌉ work. Execution is a parallel
+// two-way merge sort on large inputs.
+func SortBy[T any](m *Machine, xs []T, less func(a, b T) bool) {
+	n := len(xs)
+	m.Charge(Log2Ceil(n), int64(n)*max64(1, Log2Ceil(n)))
+	if n < serialCutoff || m.workers == 1 {
+		sort.SliceStable(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+		return
+	}
+	buf := make([]T, n)
+	parMergeSort(xs, buf, less, m.workers)
+}
+
+func parMergeSort[T any](xs, buf []T, less func(a, b T) bool, workers int) {
+	n := len(xs)
+	if workers <= 1 || n < serialCutoff {
+		sort.SliceStable(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+		return
+	}
+	mid := n / 2
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		parMergeSort(xs[:mid], buf[:mid], less, workers/2)
+	}()
+	parMergeSort(xs[mid:], buf[mid:], less, workers-workers/2)
+	wg.Wait()
+	// merge halves into buf, copy back (stable: left wins ties)
+	i, j, k := 0, mid, 0
+	for i < mid && j < n {
+		if less(xs[j], xs[i]) {
+			buf[k] = xs[j]
+			j++
+		} else {
+			buf[k] = xs[i]
+			i++
+		}
+		k++
+	}
+	copy(buf[k:], xs[i:mid])
+	copy(buf[k+mid-i:], xs[j:])
+	copy(xs, buf)
+}
+
+// SortInts sorts xs ascending with SortBy's cost model.
+func SortInts(m *Machine, xs []int) {
+	SortBy(m, xs, func(a, b int) bool { return a < b })
+}
+
+// Filter returns the elements of xs satisfying keep, preserving order.
+// Charges a ParFor plus a PrefixSum (the standard EREW compaction).
+func Filter[T any](m *Machine, xs []T, keep func(T) bool) []T {
+	n := len(xs)
+	m.Charge(Log2Ceil(n)+m.parForDepth(n), int64(n))
+	out := make([]T, 0, n)
+	for _, x := range xs {
+		if keep(x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,147 @@
+// Package reroot implements the paper's parallel rerooting procedure
+// (Section 4): given the DFS tree T of a graph, a subtree T(r0) and a new
+// root r* inside it, it rebuilds T(r0) into a DFS tree rooted at r* of the
+// subgraph induced by T(r0)'s vertices, in O(log² n) rounds of O(1) batches
+// of independent queries on the data structure D.
+//
+// The engine maintains the paper's invariant: every connected component of
+// the unvisited graph is of type C1 (a single subtree of T) or C2 (one
+// ancestor-descendant path p_c plus subtrees having an edge to p_c). Each
+// round applies one traversal — disintegrating, path halving, disconnecting,
+// or a heavy-subtree scenario (l/p/r) — chosen by the dispatcher exactly as
+// in Procedure Reroot-DFS of the paper.
+//
+// Correctness is independent of the traversal choice: any walk that starts
+// at the component's entry vertex, moves along tree paths and real graph
+// edges inside the component, and attaches every remaining component at its
+// lowest edge on the walk, preserves the components property (Lemma 1).
+// When a heavy-subtree scenario's preconditions fail to materialize (the
+// paper's special case, or a degenerate geometry the paper does not spell
+// out), the engine falls back to the always-valid l-shaped walk and counts
+// it in Stats; the round bound is then checked empirically by the tests.
+package reroot
+
+import (
+	"fmt"
+
+	"repro/internal/tree"
+)
+
+// Piece is one constituent of an unvisited component: either a full subtree
+// T(Root) of the base tree, or an ancestor-descendant path [Top..Bot]
+// (Top the T-ancestor).
+type Piece struct {
+	IsPath   bool
+	Root     int // subtree root if !IsPath
+	Top, Bot int // path endpoints if IsPath
+}
+
+// SubtreePiece returns a subtree piece.
+func SubtreePiece(root int) Piece { return Piece{Root: root} }
+
+// PathPiece returns a path piece; top must be an ancestor of bot.
+func PathPiece(top, bot int) Piece { return Piece{IsPath: true, Top: top, Bot: bot} }
+
+func (p Piece) String() string {
+	if p.IsPath {
+		return fmt.Sprintf("path[%d..%d]", p.Top, p.Bot)
+	}
+	return fmt.Sprintf("T(%d)", p.Root)
+}
+
+// size returns the number of vertices of the piece under t.
+func (p Piece) size(t *tree.Tree) int {
+	if p.IsPath {
+		return t.PathLen(p.Top, p.Bot)
+	}
+	return t.Size(p.Root)
+}
+
+// vertices appends the piece's vertices to buf. Subtree pieces enumerate in
+// pre-order; path pieces from Bot up to Top.
+func (p Piece) vertices(t *tree.Tree, buf []int) []int {
+	if p.IsPath {
+		for v := p.Bot; ; v = t.Parent[v] {
+			buf = append(buf, v)
+			if v == p.Top {
+				return buf
+			}
+		}
+	}
+	return t.SubtreeVertices(p.Root, buf)
+}
+
+// contains reports whether v is a vertex of the piece.
+func (p Piece) contains(t *tree.Tree, v int) bool {
+	if p.IsPath {
+		return t.IsAncestor(p.Top, v) && t.IsAncestor(v, p.Bot)
+	}
+	return t.IsAncestor(p.Root, v)
+}
+
+// Comp is a connected component of the unvisited graph, with the entry
+// vertex RC from which its DFS will be rooted and the T*-vertex it attaches
+// under.
+type Comp struct {
+	Pieces       []Piece
+	RC           int
+	AttachParent int
+	// Depth is the number of traversal rounds on the chain that produced
+	// this component (critical-path accounting).
+	Depth int
+	// Batches is the number of sequential query batches on the chain.
+	Batches int
+}
+
+// pathCount returns the number of path pieces.
+func (c *Comp) pathCount() int {
+	k := 0
+	for _, p := range c.Pieces {
+		if p.IsPath {
+			k++
+		}
+	}
+	return k
+}
+
+// pieceOf returns the index of the piece containing v, or -1.
+func (c *Comp) pieceOf(t *tree.Tree, v int) int {
+	for i, p := range c.Pieces {
+		if p.contains(t, v) {
+			return i
+		}
+	}
+	return -1
+}
+
+// totalSize returns the vertex count of the component.
+func (c *Comp) totalSize(t *tree.Tree) int {
+	n := 0
+	for _, p := range c.Pieces {
+		n += p.size(t)
+	}
+	return n
+}
+
+// largestSubtree returns the maximum subtree piece size (0 if none).
+func (c *Comp) largestSubtree(t *tree.Tree) int {
+	s := 0
+	for _, p := range c.Pieces {
+		if !p.IsPath {
+			if sz := t.Size(p.Root); sz > s {
+				s = sz
+			}
+		}
+	}
+	return s
+}
+
+// pathLen returns the length of the single path piece (0 if none).
+func (c *Comp) pathLen(t *tree.Tree) int {
+	for _, p := range c.Pieces {
+		if p.IsPath {
+			return p.size(t)
+		}
+	}
+	return 0
+}

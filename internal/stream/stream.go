@@ -1,0 +1,341 @@
+// Package stream implements the paper's semi-streaming fully dynamic DFS
+// (Theorem 15): the graph's edges live in an external stream; the maintainer
+// keeps only O(n) words resident (the DFS tree and per-update scratch) and
+// answers every batch of independent D-queries with a single pass over the
+// stream.
+//
+// The simulator enforces the model structurally: the edge set is reachable
+// only through Stream.Pass, which counts invocations. Two pass counters are
+// reported per update:
+//
+//   - Passes: the number of Pass invocations the simulator actually made
+//     (it answers each query eagerly, so concurrent queries of one batch
+//     are not physically coalesced);
+//   - ScheduledPasses: the passes a synchronous-schedule execution needs —
+//     the critical-path count of sequential query batches, each answerable
+//     by one shared pass (Section 6.1: "the parallel queries on D made by
+//     our algorithm can be answered simultaneously using a single pass").
+//
+// Theorem 15's O(log² n) bound is about ScheduledPasses; both are measured.
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/dstruct"
+	"repro/internal/graph"
+	"repro/internal/lca"
+	"repro/internal/pram"
+	"repro/internal/reroot"
+	"repro/internal/tree"
+)
+
+// Stream is the external edge storage. Only Pass reads it.
+type Stream struct {
+	edges  []graph.Edge
+	passes int64
+}
+
+// NewStream copies the edge list into external storage.
+func NewStream(edges []graph.Edge) *Stream {
+	return &Stream{edges: append([]graph.Edge(nil), edges...)}
+}
+
+// Pass performs one sequential pass over the stream.
+func (s *Stream) Pass(fn func(e graph.Edge)) {
+	s.passes++
+	for _, e := range s.edges {
+		fn(e)
+	}
+}
+
+// Passes returns the total number of passes made so far.
+func (s *Stream) Passes() int64 { return s.passes }
+
+// Len returns the number of edges currently in the stream.
+func (s *Stream) Len() int { return len(s.edges) }
+
+// insert and remove mutate the stream (the dynamic input itself changing;
+// not counted as passes).
+func (s *Stream) insert(e graph.Edge) { s.edges = append(s.edges, e.Canon()) }
+
+func (s *Stream) remove(e graph.Edge) bool {
+	c := e.Canon()
+	for i, x := range s.edges {
+		if x == c {
+			s.edges[i] = s.edges[len(s.edges)-1]
+			s.edges = s.edges[:len(s.edges)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// oracle answers engine queries with one pass each, using O(n) scratch.
+type oracle struct {
+	s *Stream
+	// scratchPeak tracks the largest per-query resident scratch in words,
+	// for the O(n) memory audit.
+	scratchPeak int
+}
+
+func (o *oracle) note(words int) {
+	if words > o.scratchPeak {
+		o.scratchPeak = words
+	}
+}
+
+func (o *oracle) EdgeToWalk(sources, walk []int, fromEnd bool) (dstruct.Hit, bool) {
+	if len(sources) == 0 || len(walk) == 0 {
+		return dstruct.Hit{}, false
+	}
+	src := make(map[int]bool, len(sources))
+	for _, v := range sources {
+		src[v] = true
+	}
+	pos := make(map[int]int, len(walk))
+	for i, v := range walk {
+		pos[v] = i
+	}
+	o.note(len(sources) + len(walk))
+	best := dstruct.Hit{ZPos: -1}
+	found := false
+	consider := func(u, z int) {
+		p, on := pos[z]
+		if !on || !src[u] {
+			return
+		}
+		h := dstruct.Hit{U: u, Z: z, ZPos: p}
+		switch {
+		case !found:
+			best, found = h, true
+		case h.ZPos != best.ZPos:
+			if (fromEnd && h.ZPos > best.ZPos) || (!fromEnd && h.ZPos < best.ZPos) {
+				best = h
+			}
+		case h.U < best.U:
+			best = h
+		}
+	}
+	o.s.Pass(func(e graph.Edge) {
+		consider(e.U, e.V)
+		consider(e.V, e.U)
+	})
+	return best, found
+}
+
+func (o *oracle) EdgeToWalkBySource(sources, walk []int, fromEnd bool) (dstruct.Hit, bool) {
+	if len(sources) == 0 || len(walk) == 0 {
+		return dstruct.Hit{}, false
+	}
+	order := make(map[int]int, len(sources))
+	for i, v := range sources {
+		if _, dup := order[v]; !dup {
+			order[v] = i
+		}
+	}
+	pos := make(map[int]int, len(walk))
+	for i, v := range walk {
+		pos[v] = i
+	}
+	o.note(len(sources) + len(walk))
+	bestOrder := len(sources)
+	best := dstruct.Hit{ZPos: -1}
+	consider := func(u, z int) {
+		p, on := pos[z]
+		if !on {
+			return
+		}
+		ord, isSrc := order[u]
+		if !isSrc || ord > bestOrder {
+			return
+		}
+		h := dstruct.Hit{U: u, Z: z, ZPos: p}
+		if ord < bestOrder {
+			bestOrder, best = ord, h
+			return
+		}
+		if (fromEnd && h.ZPos > best.ZPos) || (!fromEnd && h.ZPos < best.ZPos) {
+			best = h
+		}
+	}
+	o.s.Pass(func(e graph.Edge) {
+		consider(e.U, e.V)
+		consider(e.V, e.U)
+	})
+	return best, bestOrder < len(sources)
+}
+
+func (o *oracle) HasEdgeToWalk(sources, walk []int) bool {
+	_, ok := o.EdgeToWalk(sources, walk, true)
+	return ok
+}
+
+// Maintainer is the semi-streaming fully dynamic DFS algorithm.
+type Maintainer struct {
+	s      *Stream
+	o      *oracle
+	t      *tree.Tree
+	l      *lca.Index
+	pseudo int
+	slots  int // graph vertex-ID slots
+	alive  []bool
+
+	lastPasses    int64
+	lastScheduled int
+	lastStats     reroot.Stats
+}
+
+// New builds the maintainer: the preprocessing DFS tree is computed from
+// the initial stream (preprocessing is outside the per-update pass budget,
+// as in the paper where the initial tree is given).
+func New(g *graph.Graph) *Maintainer {
+	m := &Maintainer{
+		s:     NewStream(g.Edges()),
+		slots: g.NumVertexSlots(),
+	}
+	m.o = &oracle{s: m.s}
+	m.pseudo = m.slots + 64
+	m.alive = make([]bool, m.slots)
+	for v := 0; v < m.slots; v++ {
+		m.alive[v] = g.IsVertex(v)
+	}
+	m.rebuildFromScratch(g)
+	return m
+}
+
+func (m *Maintainer) rebuildFromScratch(g *graph.Graph) {
+	parent := make([]int, m.pseudo+1)
+	for i := range parent {
+		parent[i] = tree.None
+	}
+	full := baselineDFS(g, m.pseudo)
+	copy(parent, full)
+	m.t = tree.MustBuild(m.pseudo, parent, m.present())
+	m.l = lca.New(m.t)
+}
+
+// baselineDFS computes parents of a DFS forest hung under pseudo.
+func baselineDFS(g *graph.Graph, pseudo int) []int {
+	n := g.NumVertexSlots()
+	parent := make([]int, pseudo+1)
+	for i := range parent {
+		parent[i] = tree.None
+	}
+	visited := make([]bool, n)
+	snap := g.Snapshot()
+	cursor := make([]int, n)
+	var stack []int
+	for s := 0; s < n; s++ {
+		if !g.IsVertex(s) || visited[s] {
+			continue
+		}
+		visited[s] = true
+		parent[s] = pseudo
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			row := snap.Row(v)
+			adv := false
+			for cursor[v] < len(row) {
+				w := row[cursor[v]]
+				cursor[v]++
+				if !visited[w] {
+					visited[w] = true
+					parent[w] = v
+					stack = append(stack, w)
+					adv = true
+					break
+				}
+			}
+			if !adv {
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return parent
+}
+
+func (m *Maintainer) present() []bool {
+	p := make([]bool, m.pseudo+1)
+	copy(p, m.alive)
+	p[m.pseudo] = true
+	return p
+}
+
+// Tree returns the current DFS tree (pseudo-rooted).
+func (m *Maintainer) Tree() *tree.Tree { return m.t }
+
+// PseudoRoot returns the pseudo root ID.
+func (m *Maintainer) PseudoRoot() int { return m.pseudo }
+
+// Stream exposes the external storage (for pass-count assertions).
+func (m *Maintainer) Stream() *Stream { return m.s }
+
+// LastPasses returns the physical passes of the most recent update.
+func (m *Maintainer) LastPasses() int64 { return m.lastPasses }
+
+// LastScheduledPasses returns the synchronous-schedule pass count of the
+// most recent update (the Theorem 15 measure).
+func (m *Maintainer) LastScheduledPasses() int { return m.lastScheduled }
+
+// LastStats returns the rerooting statistics of the most recent update.
+func (m *Maintainer) LastStats() reroot.Stats { return m.lastStats }
+
+// ResidentWords audits the maintainer's resident memory in words: the tree
+// arrays (parent, level, size, post, pre, out ≈ 6 per slot) plus the peak
+// per-query scratch. All are O(n).
+func (m *Maintainer) ResidentWords() int {
+	return 6*m.t.N() + len(m.alive) + m.o.scratchPeak
+}
+
+func (m *Maintainer) engine() *reroot.Engine {
+	return reroot.New(m.t, m.l, m.o, pram.NewMachine(m.t.Live()))
+}
+
+func (m *Maintainer) finish(e *reroot.Engine, passesBefore int64) error {
+	nt, err := e.Result(m.pseudo, m.present())
+	if err != nil {
+		return fmt.Errorf("stream: rebuilding tree: %w", err)
+	}
+	m.t = nt
+	m.l = lca.New(nt)
+	m.lastStats = e.Stats
+	m.lastPasses = m.s.passes - passesBefore
+	m.lastScheduled = e.Stats.Batches
+	return nil
+}
+
+func (m *Maintainer) compRoot(v int) int { return m.t.AncestorAtLevel(v, 1) }
+
+// Snapshot reconstructs the current graph from the stream with one pass.
+// It is a workload/test helper and not part of the maintainer's O(n)
+// resident state (the pass is counted like any other).
+func (m *Maintainer) Snapshot() *graph.Graph {
+	g := graph.New(m.slots)
+	for v := 0; v < m.slots; v++ {
+		if !m.alive[v] {
+			if err := g.DeleteVertex(v); err != nil {
+				panic(err)
+			}
+		}
+	}
+	m.s.Pass(func(e graph.Edge) {
+		if err := g.InsertEdge(e.U, e.V); err != nil {
+			panic(err)
+		}
+	})
+	return g
+}
+
+// lowestEdgeToPath finds the deepest edge from T(sub) to path [low..high]
+// via one pass.
+func (m *Maintainer) lowestEdgeToPath(sub, low, high int) (int, int, bool) {
+	walk := m.t.PathUp(low, high)
+	src := m.t.SubtreeVertices(sub, nil)
+	hit, ok := m.o.EdgeToWalk(src, walk, false)
+	if !ok {
+		return 0, 0, false
+	}
+	return hit.U, hit.Z, true
+}

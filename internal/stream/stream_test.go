@@ -1,0 +1,187 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/pram"
+	"repro/internal/tree"
+	"repro/internal/verify"
+)
+
+// mirror applies the same updates to a plain graph so the streaming tree
+// can be verified against ground truth.
+func verifyAgainst(t *testing.T, m *Maintainer, g *graph.Graph, ctx string) {
+	t.Helper()
+	if err := verify.DFSForest(g, m.Tree(), m.PseudoRoot()); err != nil {
+		t.Fatalf("%s: %v", ctx, err)
+	}
+}
+
+func TestStreamingRandomSequences(t *testing.T) {
+	rng := rand.New(rand.NewSource(139))
+	for trial := 0; trial < 15; trial++ {
+		n := 8 + rng.Intn(24)
+		g := graph.GnpConnected(n, 3.0/float64(n), rng)
+		m := New(g)
+		mirror := g.Clone()
+		verifyAgainst(t, m, mirror, "initial")
+		for step := 0; step < 25; step++ {
+			switch rng.Intn(4) {
+			case 0:
+				if e, ok := graph.RandomEdgeNotIn(mirror, rng); ok {
+					if mirror.InsertEdge(e.U, e.V) == nil {
+						if err := m.InsertEdge(e.U, e.V); err != nil {
+							t.Fatal(err)
+						}
+						verifyAgainst(t, m, mirror, "ins-edge")
+					}
+				}
+			case 1:
+				if e, ok := graph.RandomExistingEdge(mirror, rng); ok {
+					if mirror.DeleteEdge(e.U, e.V) == nil {
+						if err := m.DeleteEdge(e.U, e.V); err != nil {
+							t.Fatal(err)
+						}
+						verifyAgainst(t, m, mirror, "del-edge")
+					}
+				}
+			case 2:
+				var nbrs []int
+				for v := 0; v < mirror.NumVertexSlots(); v++ {
+					if mirror.IsVertex(v) && rng.Float64() < 0.15 {
+						nbrs = append(nbrs, v)
+					}
+				}
+				if _, err := mirror.InsertVertex(nbrs); err == nil {
+					if _, err := m.InsertVertex(nbrs); err != nil {
+						t.Fatal(err)
+					}
+					verifyAgainst(t, m, mirror, "ins-vertex")
+				}
+			case 3:
+				if mirror.NumVertices() > 4 {
+					v := rng.Intn(mirror.NumVertexSlots())
+					if mirror.IsVertex(v) && mirror.DeleteVertex(v) == nil {
+						if err := m.DeleteVertex(v); err != nil {
+							t.Fatal(err)
+						}
+						verifyAgainst(t, m, mirror, "del-vertex")
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestScheduledPassesPolylog(t *testing.T) {
+	// ScheduledPasses per update must stay within c·log²n (Theorem 15).
+	rng := rand.New(rand.NewSource(149))
+	for _, n := range []int{64, 256} {
+		g := graph.GnpConnected(n, 3.0/float64(n), rng)
+		m := New(g)
+		mirror := g.Clone()
+		worst := 0
+		for step := 0; step < 30; step++ {
+			if e, ok := graph.RandomEdgeNotIn(mirror, rng); ok {
+				if mirror.InsertEdge(e.U, e.V) == nil {
+					if err := m.InsertEdge(e.U, e.V); err != nil {
+						t.Fatal(err)
+					}
+					if m.LastScheduledPasses() > worst {
+						worst = m.LastScheduledPasses()
+					}
+				}
+			}
+		}
+		lg := int(pram.Log2Ceil(n))
+		if worst > 6*lg*lg {
+			t.Fatalf("n=%d: %d scheduled passes > 6·log²n=%d", n, worst, 6*lg*lg)
+		}
+	}
+}
+
+func TestPassCounting(t *testing.T) {
+	g := graph.Cycle(16)
+	m := New(g)
+	before := m.Stream().Passes()
+	// Back edge insert: no queries, no passes.
+	if err := m.InsertEdge(0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if m.LastPasses() != 0 {
+		t.Fatalf("back edge insert used %d passes", m.LastPasses())
+	}
+	// Tree edge delete: must use at least one pass.
+	if err := m.DeleteEdge(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if m.LastPasses() == 0 {
+		t.Fatal("tree edge delete used no passes")
+	}
+	if m.Stream().Passes() == before {
+		t.Fatal("stream pass counter did not advance")
+	}
+}
+
+func TestResidentMemoryLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	n := 256
+	g := graph.GnpConnected(n, 8.0/float64(n), rng) // m ≈ 4n
+	m := New(g)
+	mirror := g.Clone()
+	for step := 0; step < 20; step++ {
+		if e, ok := graph.RandomEdgeNotIn(mirror, rng); ok {
+			if mirror.InsertEdge(e.U, e.V) == nil {
+				if err := m.InsertEdge(e.U, e.V); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	words := m.ResidentWords()
+	if words > 16*(n+64+1) {
+		t.Fatalf("resident memory %d words exceeds O(n) budget for n=%d", words, n)
+	}
+}
+
+func TestStreamMutation(t *testing.T) {
+	s := NewStream([]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	if s.Len() != 2 {
+		t.Fatal("bad initial length")
+	}
+	s.insert(graph.Edge{U: 2, V: 0})
+	if !s.remove(graph.Edge{U: 1, V: 0}) {
+		t.Fatal("canonical removal failed")
+	}
+	if s.remove(graph.Edge{U: 5, V: 6}) {
+		t.Fatal("removed nonexistent edge")
+	}
+	count := 0
+	s.Pass(func(e graph.Edge) { count++ })
+	if count != 2 || s.Passes() != 1 {
+		t.Fatalf("count=%d passes=%d", count, s.Passes())
+	}
+}
+
+func TestStreamErrorPaths(t *testing.T) {
+	m := New(graph.Path(4))
+	if err := m.InsertEdge(0, 0); err == nil {
+		t.Fatal("self loop accepted")
+	}
+	if err := m.DeleteEdge(0, 3); err == nil {
+		t.Fatal("missing edge deletion accepted")
+	}
+	if err := m.DeleteVertex(77); err == nil {
+		t.Fatal("missing vertex deletion accepted")
+	}
+	if _, err := m.InsertVertex([]int{99}); err == nil {
+		t.Fatal("bad neighbor accepted")
+	}
+	// State must remain valid after the rejected updates.
+	if err := verify.DFSForest(graph.Path(4), m.Tree(), m.PseudoRoot()); err != nil {
+		t.Fatal(err)
+	}
+	_ = tree.None
+}

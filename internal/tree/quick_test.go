@@ -1,0 +1,96 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for any random recursive tree, the DFS-numbering invariants the
+// rest of the repository depends on all hold simultaneously.
+func TestQuickNumberingInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(uint(seed)%96)
+		parent := make([]int, n)
+		parent[0] = None
+		for v := 1; v < n; v++ {
+			parent[v] = rng.Intn(v)
+		}
+		tr, err := Build(0, parent, nil)
+		if err != nil {
+			return false
+		}
+		// 1. post is a permutation of 0..n-1.
+		seen := make([]bool, n)
+		for v := 0; v < n; v++ {
+			p := tr.Post(v)
+			if p < 0 || p >= n || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		for v := 1; v < n; v++ {
+			// 2. parent's post exceeds child's.
+			if tr.Post(parent[v]) <= tr.Post(v) {
+				return false
+			}
+			// 3. levels increase by one along tree edges.
+			if tr.Level(v) != tr.Level(parent[v])+1 {
+				return false
+			}
+			// 4. sizes telescope.
+			if tr.Size(parent[v]) <= tr.Size(v) {
+				return false
+			}
+		}
+		// 5. subtree post-order interval is contiguous:
+		//    [post(v)-size(v)+1, post(v)].
+		for v := 0; v < n; v++ {
+			lo := tr.Post(v) - tr.Size(v) + 1
+			for _, u := range tr.SubtreeVertices(v, nil) {
+				if tr.Post(u) < lo || tr.Post(u) > tr.Post(v) {
+					return false
+				}
+			}
+		}
+		// 6. root size is n.
+		return tr.Size(0) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: IsAncestor agrees with the parent-walk definition for all pairs
+// of a random tree.
+func TestQuickAncestorComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(uint(seed)%40)
+		parent := make([]int, n)
+		parent[0] = None
+		for v := 1; v < n; v++ {
+			parent[v] = rng.Intn(v)
+		}
+		tr := MustBuild(0, parent, nil)
+		for a := 0; a < n; a++ {
+			for v := 0; v < n; v++ {
+				want := false
+				for x := v; x != None; x = parent[x] {
+					if x == a {
+						want = true
+						break
+					}
+				}
+				if tr.IsAncestor(a, v) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,269 @@
+// Package tree provides the rooted-tree toolkit the dynamic-DFS algorithms
+// run on: parent/children arrays, Euler tour, post-order numbering, levels
+// and subtree sizes (the functionality of Tarjan–Vishkin, Theorem 4 of the
+// paper), plus path and ancestry helpers.
+//
+// A Tree is immutable after Build; the dynamic algorithms build a fresh Tree
+// for each updated DFS tree (the paper's T*_i).
+package tree
+
+import "fmt"
+
+// None marks the absence of a vertex (e.g. the root's parent).
+const None = -1
+
+// Tree is a rooted forest over vertex IDs 0..n-1. Vertices with Parent ==
+// None and Present == false are holes (deleted vertices); the root has
+// Parent == None and Present == true.
+type Tree struct {
+	Root     int
+	Parent   []int
+	present  []bool
+	children [][]int
+
+	// Numbering computed at Build time:
+	post  []int // post-order index (0..live-1); -1 for holes
+	pre   []int // pre-order (entry) index; -1 for holes
+	out   []int // exit counter for ancestor tests (pre/out interval nesting)
+	level []int // depth from root (root = 0)
+	size  []int // subtree sizes
+
+	live int
+}
+
+// Build constructs a Tree from a parent array. parent[root] must be None.
+// present[v]==false marks holes; present may be nil meaning all present.
+func Build(root int, parent []int, present []bool) (*Tree, error) {
+	n := len(parent)
+	t := &Tree{
+		Root:     root,
+		Parent:   append([]int(nil), parent...),
+		present:  make([]bool, n),
+		children: make([][]int, n),
+		post:     make([]int, n),
+		pre:      make([]int, n),
+		out:      make([]int, n),
+		level:    make([]int, n),
+		size:     make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		t.present[v] = present == nil || present[v]
+		t.post[v], t.pre[v], t.out[v], t.level[v] = -1, -1, -1, -1
+	}
+	if root < 0 || root >= n || !t.present[root] {
+		return nil, fmt.Errorf("tree: invalid root %d", root)
+	}
+	if parent[root] != None {
+		return nil, fmt.Errorf("tree: root %d has parent %d", root, parent[root])
+	}
+	for v := 0; v < n; v++ {
+		if !t.present[v] {
+			if parent[v] != None {
+				return nil, fmt.Errorf("tree: hole %d has parent", v)
+			}
+			continue
+		}
+		t.live++
+		p := parent[v]
+		if v == root {
+			continue
+		}
+		if p < 0 || p >= n || !t.present[p] {
+			return nil, fmt.Errorf("tree: vertex %d has invalid parent %d", v, p)
+		}
+		t.children[p] = append(t.children[p], v)
+	}
+	if err := t.number(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustBuild is Build that panics on error.
+func MustBuild(root int, parent []int, present []bool) *Tree {
+	t, err := Build(root, parent, present)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// number runs one iterative DFS from the root assigning pre/post/out/level/
+// size. It also validates that the parent array is acyclic and spans all
+// present vertices.
+func (t *Tree) number() error {
+	type frame struct {
+		v, ci int
+	}
+	stack := make([]frame, 0, t.live)
+	stack = append(stack, frame{t.Root, 0})
+	t.level[t.Root] = 0
+	preC, postC := 0, 0
+	t.pre[t.Root] = preC
+	preC++
+	visited := 1
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.ci < len(t.children[f.v]) {
+			c := t.children[f.v][f.ci]
+			f.ci++
+			if t.pre[c] >= 0 {
+				return fmt.Errorf("tree: cycle through %d", c)
+			}
+			t.level[c] = t.level[f.v] + 1
+			t.pre[c] = preC
+			preC++
+			visited++
+			stack = append(stack, frame{c, 0})
+			continue
+		}
+		v := f.v
+		stack = stack[:len(stack)-1]
+		t.post[v] = postC
+		postC++
+		t.out[v] = preC
+		sz := 1
+		for _, c := range t.children[v] {
+			sz += t.size[c]
+		}
+		t.size[v] = sz
+	}
+	if visited != t.live {
+		return fmt.Errorf("tree: %d of %d present vertices reachable from root", visited, t.live)
+	}
+	return nil
+}
+
+// N returns the number of vertex slots.
+func (t *Tree) N() int { return len(t.Parent) }
+
+// Live returns the number of present vertices.
+func (t *Tree) Live() int { return t.live }
+
+// Present reports whether v is a live vertex of the tree.
+func (t *Tree) Present(v int) bool { return v >= 0 && v < len(t.present) && t.present[v] }
+
+// Children returns the children of v in build order. Callers must not mutate.
+func (t *Tree) Children(v int) []int { return t.children[v] }
+
+// Post returns the post-order index of v (unique in 0..Live-1).
+func (t *Tree) Post(v int) int { return t.post[v] }
+
+// Pre returns the pre-order (DFS entry) index of v.
+func (t *Tree) Pre(v int) int { return t.pre[v] }
+
+// Level returns the depth of v (root has level 0).
+func (t *Tree) Level(v int) int { return t.level[v] }
+
+// Size returns |T(v)|, the number of vertices in the subtree rooted at v.
+func (t *Tree) Size(v int) int { return t.size[v] }
+
+// IsAncestor reports whether a is an ancestor of v (not necessarily proper):
+// pre[a] <= pre[v] < out[a].
+func (t *Tree) IsAncestor(a, v int) bool {
+	return t.pre[a] <= t.pre[v] && t.pre[v] < t.out[a]
+}
+
+// InSubtree reports whether v lies in T(w). Identical to IsAncestor(w, v);
+// provided for readability at call sites phrased in subtree terms.
+func (t *Tree) InSubtree(v, w int) bool { return t.IsAncestor(w, v) }
+
+// PathLen returns the number of vertices on the tree path between
+// ancestor-descendant pair (a "down" below or equal to "up"), i.e.
+// level(down)-level(up)+1. It panics if up is not an ancestor of down.
+func (t *Tree) PathLen(up, down int) int {
+	if !t.IsAncestor(up, down) {
+		panic(fmt.Sprintf("tree: PathLen(%d,%d): not ancestor-descendant", up, down))
+	}
+	return t.level[down] - t.level[up] + 1
+}
+
+// PathUp returns the vertices of path(down, up) listed from down to up,
+// where up must be an ancestor of down.
+func (t *Tree) PathUp(down, up int) []int {
+	if !t.IsAncestor(up, down) {
+		panic(fmt.Sprintf("tree: PathUp(%d,%d): not ancestor-descendant", down, up))
+	}
+	out := make([]int, 0, t.level[down]-t.level[up]+1)
+	for v := down; ; v = t.Parent[v] {
+		out = append(out, v)
+		if v == up {
+			return out
+		}
+	}
+}
+
+// AncestorAtLevel returns the ancestor of v at the given level (walking
+// parent pointers; O(level(v)-lvl)).
+func (t *Tree) AncestorAtLevel(v, lvl int) int {
+	if lvl > t.level[v] || lvl < 0 {
+		panic(fmt.Sprintf("tree: AncestorAtLevel(%d,%d): level out of range", v, lvl))
+	}
+	for t.level[v] > lvl {
+		v = t.Parent[v]
+	}
+	return v
+}
+
+// ChildToward returns the child c of a such that descendant d ∈ T(c).
+// a must be a proper ancestor of d. O(level difference) via parent walk.
+func (t *Tree) ChildToward(a, d int) int {
+	if a == d || !t.IsAncestor(a, d) {
+		panic(fmt.Sprintf("tree: ChildToward(%d,%d): not proper ancestor", a, d))
+	}
+	return t.AncestorAtLevel(d, t.level[a]+1)
+}
+
+// SubtreeVertices appends the vertices of T(v) to buf in pre-order.
+func (t *Tree) SubtreeVertices(v int, buf []int) []int {
+	buf = append(buf, v)
+	for _, c := range t.children[v] {
+		buf = t.SubtreeVertices(c, buf)
+	}
+	return buf
+}
+
+// Vertices returns all present vertices in increasing ID order.
+func (t *Tree) Vertices() []int {
+	out := make([]int, 0, t.live)
+	for v := range t.present {
+		if t.present[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// EulerTour returns the Euler tour of the tree as (tour, first) where tour
+// lists vertices of the 2·live-1 step walk and first[v] is the index of v's
+// first occurrence. Holes have first == -1. This is the input to the sparse
+// table LCA structure.
+func (t *Tree) EulerTour() (tour []int, first []int) {
+	first = make([]int, len(t.present))
+	for i := range first {
+		first[i] = -1
+	}
+	tour = make([]int, 0, 2*t.live-1)
+	type frame struct{ v, ci int }
+	stack := []frame{{t.Root, 0}}
+	first[t.Root] = 0
+	tour = append(tour, t.Root)
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.ci < len(t.children[f.v]) {
+			c := t.children[f.v][f.ci]
+			f.ci++
+			if first[c] < 0 {
+				first[c] = len(tour)
+			}
+			tour = append(tour, c)
+			stack = append(stack, frame{c, 0})
+			continue
+		}
+		stack = stack[:len(stack)-1]
+		if len(stack) > 0 {
+			tour = append(tour, stack[len(stack)-1].v)
+		}
+	}
+	return tour, first
+}
