@@ -13,17 +13,35 @@ package dfs
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/baseline"
+	"repro/internal/dstruct"
+	"repro/internal/pram"
 )
 
 func sizes() []int { return []int{256, 1024, 4096} }
 
+// bigSizes extends sizes with the 10⁵-vertex instance the parallel-vs-
+// serial speedup comparisons are specified at.
+func bigSizes() []int { return append(sizes(), 100000) }
+
+// execWidths returns the worker-pool widths for the execution-speedup
+// benchmark family: always the serial baseline, plus the host's cores when
+// it has more than one (on a single-core host the parallel rows would only
+// measure scheduling overhead).
+func execWidths() []int {
+	if w := runtime.GOMAXPROCS(0); w > 1 {
+		return []int{1, w}
+	}
+	return []int{1}
+}
+
 // E1: fully dynamic update vs baselines.
 
 func BenchmarkUpdateParallel(b *testing.B) {
-	for _, n := range sizes() {
+	for _, n := range bigSizes() {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			rng := rand.New(rand.NewSource(1))
 			g := GnpConnected(n, 3.0/float64(n), rng)
@@ -196,7 +214,7 @@ func BenchmarkDistributedUpdate(b *testing.B) {
 // E5: building D (preprocessing).
 
 func BenchmarkBuildD(b *testing.B) {
-	for _, n := range sizes() {
+	for _, n := range bigSizes() {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			rng := rand.New(rand.NewSource(5))
 			g := GnpConnected(n, 4.0/float64(n), rng)
@@ -263,6 +281,89 @@ func deepTreeEdge(m *Maintainer) Edge {
 		}
 	}
 	return best
+}
+
+// E8: execution parallelism. The same model code runs with worker-pool
+// width 1 (the serial seed path) vs the host's cores; the recorded PRAM
+// depth/work are identical across widths (asserted by
+// core.TestParallelExecutionMatchesSerial) — only wall-clock changes.
+
+// benchQueryInstance builds a D plus a deep root-to-leaf walk and the
+// off-walk source set, the shape of the engine's per-round batched queries.
+func benchQueryInstance(n, workers int) (*dstruct.D, []int, []int) {
+	rng := rand.New(rand.NewSource(9))
+	g := GnpConnected(n, 4.0/float64(n), rng)
+	tr := StaticDFS(g)
+	deep := tr.Root
+	for v := 0; v < g.NumVertexSlots(); v++ {
+		if tr.Present(v) && tr.Level(v) > tr.Level(deep) {
+			deep = v
+		}
+	}
+	walk := tr.PathUp(deep, tr.Root)
+	onWalk := make(map[int]bool, len(walk))
+	for _, v := range walk {
+		onWalk[v] = true
+	}
+	var sources []int
+	for v := 0; v < g.NumVertexSlots(); v++ {
+		if g.IsVertex(v) && !onWalk[v] {
+			sources = append(sources, v)
+		}
+	}
+	d := dstruct.Build(g, tr, pram.NewMachineWithWorkers(2*g.NumEdges(), workers))
+	return d, sources, walk
+}
+
+func BenchmarkEdgeToWalkExec(b *testing.B) {
+	for _, n := range []int{4096, 100000} {
+		for _, w := range execWidths() {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, w), func(b *testing.B) {
+				d, sources, walk := benchQueryInstance(n, w)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, ok := d.EdgeToWalk(sources, walk, true); !ok {
+						b.Fatal("no hit")
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkBuildDExec(b *testing.B) {
+	for _, n := range []int{4096, 100000} {
+		for _, w := range execWidths() {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, w), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(5))
+				g := GnpConnected(n, 4.0/float64(n), rng)
+				tr := StaticDFS(g)
+				mach := pram.NewMachineWithWorkers(2*g.NumEdges(), w)
+				d := dstruct.Build(g, tr, mach)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					d.Rebuild(g, tr, mach)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkUpdateExec(b *testing.B) {
+	for _, n := range []int{4096, 100000} {
+		for _, w := range execWidths() {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, w), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(1))
+				g := GnpConnected(n, 3.0/float64(n), rng)
+				mach := pram.NewMachineWithWorkers(2*g.NumEdges()+g.NumVertexSlots()+1, w)
+				m := NewMaintainerWith(g, Options{RebuildD: true, Machine: mach})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					benchUpdate(b, m, rng)
+				}
+			})
+		}
+	}
 }
 
 // Substrate micro-benchmarks.

@@ -109,6 +109,14 @@ func New(g *graph.Graph, opt Options) *DynamicDFS {
 	dd.pseudo = dd.g.NumVertexSlots() + dd.headroom
 	dd.rebuildTreeFromScratch()
 	dd.d = dstruct.Build(dd.g, dd.t, dd.m)
+	if dd.rebuildD {
+		// Fully dynamic mode rebuilds D (and its embedded LCA index) in
+		// place after every update; the engine-facing index aliases D's so
+		// the same tree is never indexed twice.
+		dd.l = dd.d.LCA
+	} else {
+		dd.l = lca.NewWith(dd.t, dd.m)
+	}
 	return dd
 }
 
@@ -129,7 +137,7 @@ func NewFromState(g *graph.Graph, t *tree.Tree, d *dstruct.D, pseudo int, m *pra
 	return &DynamicDFS{
 		g:        g,
 		t:        t,
-		l:        lca.New(t),
+		l:        lca.NewWith(t, m),
 		d:        d,
 		m:        m,
 		pseudo:   pseudo,
@@ -210,7 +218,6 @@ func (dd *DynamicDFS) rebuildTreeFromScratch() {
 		}
 	}
 	dd.t = tree.MustBuild(dd.pseudo, parent, dd.present())
-	dd.l = lca.New(dd.t)
 }
 
 // finish installs the engine's result as the new tree and refreshes D.
@@ -226,10 +233,17 @@ func (dd *DynamicDFS) finish(e *reroot.Engine) error {
 
 func (dd *DynamicDFS) installTree(nt *tree.Tree) {
 	dd.t = nt
-	dd.l = lca.New(dd.t)
 	dd.updates++
 	if dd.rebuildD {
-		dd.d = dstruct.Build(dd.g, dd.t, dd.m)
+		// In-place rebuild reuses D's neighbor rows and LCA buffers (the
+		// paper's m-processor O(log n) rebuild, executed on the worker
+		// pool); dd.l aliases the freshly rebuilt index.
+		dd.d.Rebuild(dd.g, dd.t, dd.m)
+		dd.l = dd.d.LCA
+	} else {
+		// Fault-tolerant mode: D stays pinned to the base tree, so the
+		// engine-facing index is a separate buffer rebuilt on the new tree.
+		dd.l.Rebuild(dd.t)
 	}
 }
 
@@ -262,8 +276,15 @@ func (dd *DynamicDFS) relocatePseudo() {
 		parent[v] = p
 	}
 	dd.t = tree.MustBuild(dd.pseudo, parent, dd.present())
-	dd.l = lca.New(dd.t)
-	dd.d = dstruct.Build(dd.g, dd.t, dd.m)
+	if dd.rebuildD {
+		dd.d.Rebuild(dd.g, dd.t, dd.m)
+		dd.l = dd.d.LCA
+	} else {
+		// Unreachable today (InsertVertex rejects relocation in
+		// fault-tolerant mode), but never clobber a caller-shared D.
+		dd.l.Rebuild(dd.t)
+		dd.d = dstruct.Build(dd.g, dd.t, dd.m)
+	}
 }
 
 // compRoot returns the root of v's component (the child of the pseudo root
@@ -276,13 +297,26 @@ func (dd *DynamicDFS) compRoot(v int) int {
 // path [low..high] (high an ancestor of low), or ok=false. One batch of
 // independent queries in the PRAM accounting.
 func (dd *DynamicDFS) lowestEdgeToPath(sub, low, high int) (inside, on int, ok bool) {
-	walk := dd.t.PathUp(low, high) // low..high; "lowest" = nearest low
-	src := dd.t.SubtreeVertices(sub, nil)
-	lg := pram.Log2Ceil(dd.t.Live() + 1)
-	dd.m.Charge(lg, int64(len(src))*lg)
-	hit, ok := dd.d.EdgeToWalk(src, walk, false)
-	if !ok {
+	ans := dd.lowestEdgesToPath([]int{sub}, low, high)[0]
+	if !ans.OK {
 		return 0, 0, false
 	}
-	return hit.U, hit.Z, true
+	return ans.Hit.U, ans.Hit.Z, true
+}
+
+// lowestEdgesToPath answers lowestEdgeToPath for several disjoint subtrees
+// against one shared path, issued as a single batch so the execution layer
+// fans every (subtree, path) query out over the worker pool at once. Each
+// subtree is charged its own batch step, exactly as the one-at-a-time calls
+// would be.
+func (dd *DynamicDFS) lowestEdgesToPath(subs []int, low, high int) []dstruct.WalkAnswer {
+	walk := dd.t.PathUp(low, high) // low..high; "lowest" = nearest low
+	lg := pram.Log2Ceil(dd.t.Live() + 1)
+	qs := make([]dstruct.WalkQuery, len(subs))
+	for i, sub := range subs {
+		src := dd.t.SubtreeVertices(sub, nil)
+		dd.m.Charge(lg, int64(len(src))*lg)
+		qs[i] = dstruct.WalkQuery{Sources: src, Walk: walk, FromEnd: false}
+	}
+	return dd.d.EdgeToWalkBatch(qs)
 }

@@ -94,14 +94,19 @@ func (dd *DynamicDFS) DeleteVertex(u int) error {
 	children := dd.t.Children(u)
 	e := dd.engine()
 	e.SetParent(u, tree.None)
-	for _, vi := range children {
-		if pu == dd.pseudo {
-			// u was a component root: no path above to reattach through.
+	if pu == dd.pseudo {
+		// u was a component root: no path above to reattach through.
+		for _, vi := range children {
 			e.SetParent(vi, dd.pseudo)
-			continue
 		}
-		if inside, on, ok := dd.lowestEdgeToPath(vi, pu, dd.compRoot(pu)); ok {
-			if err := e.Reroot(vi, inside, on); err != nil {
+		return dd.finish(e)
+	}
+	// The per-child deepest-edge queries share one path and are independent
+	// of each other and of the reroots they feed: one batch.
+	answers := dd.lowestEdgesToPath(children, pu, dd.compRoot(pu))
+	for i, vi := range children {
+		if answers[i].OK {
+			if err := e.Reroot(vi, answers[i].Hit.U, answers[i].Hit.Z); err != nil {
 				return fmt.Errorf("core: delete vertex %d (subtree %d): %w", u, vi, err)
 			}
 		} else {

@@ -10,6 +10,15 @@
 // every search (Theorem 9's O(log n + k) search), so a D built once keeps
 // answering queries for the fault-tolerant algorithm while the DFS tree
 // evolves away from T.
+//
+// Execution vs accounting: D runs the paper's parallelism for real. Build
+// sorts the per-vertex neighbor rows across the machine's worker pool, and
+// the EdgeToWalk family shards large source batches over the same pool
+// (see query.go). The machine's recorded depth/work stay purely analytic:
+// Build charges Theorem 8's preprocessing cost in one step, query batches
+// are charged by their callers as single O(log n)-depth steps (Theorems 6
+// and 8), and the execution layer itself charges nothing — so host
+// parallelism changes wall-clock time but never the model costs.
 package dstruct
 
 import (
@@ -28,6 +37,8 @@ type D struct {
 	T   *tree.Tree
 	LCA *lca.Index
 
+	mach *pram.Machine // worker pool for build and query execution; nil = serial
+
 	nbr [][]int32 // nbr[v] = neighbors of v sorted by post-order (base graph only)
 
 	inserted   map[int][]int           // patch: inserted-edge adjacency
@@ -35,7 +46,10 @@ type D struct {
 	patchVerts map[int]struct{}        // vertices with no base numbering
 	numPatches int
 
-	// Stats counts search effort for the experiment harness.
+	// Stats counts search effort for the experiment harness. Parallel
+	// queries accumulate into per-shard copies merged on completion, so the
+	// counters are exact (not torn), though EdgeToWalkBySource records more
+	// effort in parallel mode (it cannot early-exit across shards).
 	Stats Stats
 }
 
@@ -49,35 +63,107 @@ type Stats struct {
 	RunsSplit   int64 // total base-tree fragments across all walk queries
 }
 
+// add accumulates a shard-local Stats into s.
+func (s *Stats) add(o Stats) {
+	s.Searches += o.Searches
+	s.ScanSteps += o.ScanSteps
+	s.CaseB += o.CaseB
+	s.PatchScans += o.PatchScans
+	s.WalkQueries += o.WalkQueries
+	s.RunsSplit += o.RunsSplit
+}
+
+// buildParallelCutoff is the tree size below which Build/Rebuild fill the
+// neighbor rows serially (mirroring query.go's parallelSourceCutoff).
+const buildParallelCutoff = 2048
+
 // Build constructs D over graph g and its DFS tree t, charging the machine
 // the paper's preprocessing cost (Theorem 8: O(log n) depth on m
-// processors; per-vertex parallel merge sort of N(v)). mach may be nil.
+// processors; per-vertex parallel merge sort of N(v)). mach may be nil, in
+// which case construction and all queries run serially.
 func Build(g *graph.Graph, t *tree.Tree, mach *pram.Machine) *D {
-	n := t.N()
 	d := &D{
-		T:          t,
-		LCA:        lca.New(t),
-		nbr:        make([][]int32, n),
 		inserted:   make(map[int][]int),
 		deletedE:   make(map[graph.Edge]struct{}),
 		patchVerts: make(map[int]struct{}),
 	}
+	d.build(g, t, mach)
+	return d
+}
+
+// Rebuild reconstructs D over (g, t) in place, discarding all patches and
+// reusing the existing neighbor rows and LCA buffers. The fully dynamic
+// maintainer rebuilds D after every update; Rebuild keeps that hot path
+// allocation-light. Queries answered before Rebuild returns are invalid.
+func (d *D) Rebuild(g *graph.Graph, t *tree.Tree, mach *pram.Machine) {
+	clear(d.inserted)
+	clear(d.deletedE)
+	clear(d.patchVerts)
+	d.numPatches = 0
+	d.build(g, t, mach)
+}
+
+func (d *D) build(g *graph.Graph, t *tree.Tree, mach *pram.Machine) {
+	n := t.N()
+	d.T = t
+	d.mach = mach
+	if d.LCA == nil {
+		d.LCA = lca.NewWith(t, mach)
+	} else {
+		d.LCA.RebuildWith(t, mach)
+	}
+	if cap(d.nbr) >= n {
+		d.nbr = d.nbr[:n]
+	} else {
+		d.nbr = make([][]int32, n)
+	}
+	slots := g.NumVertexSlots()
+	if slots > n {
+		slots = n
+	}
+	// Per-vertex neighbor-row sorts are independent: shard the vertex range
+	// over the worker pool, each shard tracking its own max degree. Small
+	// trees fill serially — the per-update Rebuild of a small graph should
+	// not pay goroutine fan-out for microseconds of sorting.
+	par := mach != nil && mach.Workers() > 1 && n >= buildParallelCutoff
+	shardMax := make([]int, 1)
+	if par {
+		shardMax = make([]int, mach.Workers())
+	}
+	fillRange := func(shard, lo, hi int) {
+		var scratch []int
+		maxDeg := 0
+		for v := lo; v < hi; v++ {
+			if v >= slots || !g.IsVertex(v) {
+				d.nbr[v] = d.nbr[v][:0]
+				continue
+			}
+			scratch = g.Neighbors(v, scratch)
+			row := d.nbr[v][:0]
+			for _, w := range scratch {
+				row = append(row, int32(w))
+			}
+			// Post-order indices are unique, so the sort is deterministic
+			// regardless of the map-iteration order Neighbors returns.
+			sort.Slice(row, func(i, j int) bool {
+				return t.Post(int(row[i])) < t.Post(int(row[j]))
+			})
+			d.nbr[v] = row
+			if len(row) > maxDeg {
+				maxDeg = len(row)
+			}
+		}
+		shardMax[shard] = maxDeg
+	}
+	if par {
+		mach.ExecSharded(n, fillRange)
+	} else {
+		fillRange(0, 0, n)
+	}
 	maxDeg := 0
-	for v := 0; v < g.NumVertexSlots(); v++ {
-		if !g.IsVertex(v) {
-			continue
-		}
-		ns := g.SortedNeighbors(v)
-		row := make([]int32, len(ns))
-		for i, w := range ns {
-			row[i] = int32(w)
-		}
-		sort.Slice(row, func(i, j int) bool {
-			return t.Post(int(row[i])) < t.Post(int(row[j]))
-		})
-		d.nbr[v] = row
-		if len(row) > maxDeg {
-			maxDeg = len(row)
+	for _, m := range shardMax {
+		if m > maxDeg {
+			maxDeg = m
 		}
 	}
 	if mach != nil {
@@ -85,7 +171,6 @@ func Build(g *graph.Graph, t *tree.Tree, mach *pram.Machine) *D {
 		// processors: depth log(max degree), work sum |N(v)| log |N(v)|.
 		mach.Charge(pram.Log2Ceil(maxDeg), int64(2*g.NumEdges())*pram.Log2Ceil(maxDeg))
 	}
-	return d
 }
 
 // SizeWords returns the memory footprint of D in words, for the O(m) space

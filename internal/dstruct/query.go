@@ -11,6 +11,19 @@ package dstruct
 // queries on T*_i paths to queries on T paths). In fully dynamic mode the
 // engine's walks are already T-paths, giving O(1) runs; in fault tolerant
 // mode a walk decomposes into the O(log^{2(i-1)} n) fragments of Theorem 9.
+//
+// Execution vs accounting: a batch of independent queries is *charged* by
+// the caller as one O(log n)-depth EREW step over k total sources (Theorems
+// 6 and 8) — this file never touches the machine's counters. What the
+// machine provides here is its worker pool: large source sets are sharded
+// across workers (each shard keeping a private best Hit and private Stats),
+// then reduced under the same order — (extremal ZPos, then smallest U) —
+// the serial scan uses, so results are bit-identical to serial evaluation.
+
+// parallelSourceCutoff is the source-set size below which a query is
+// evaluated serially; under it the goroutine fan-out costs more than the
+// per-source binary searches it parallelizes.
+const parallelSourceCutoff = 256
 
 // run is a maximal T-monotone fragment of a walk.
 type run struct {
@@ -83,6 +96,80 @@ func (d *D) zPos(r run, walk []int, z int) int {
 	return r.hi - depth
 }
 
+// walkEval is the per-query preprocessed view of a walk: its base-tree run
+// decomposition, plus — on the sharded paths — a walk-position index
+// precomputed once up front. Shards share the index read-only (building it
+// lazily inside workers would race) and its O(|walk|) cost amortizes over
+// the large source set that triggered sharding. Serial scans leave pos nil
+// and build a goroutine-local index lazily, only when a patch edge is
+// actually encountered, so unpatched queries pay nothing.
+type walkEval struct {
+	runs []run
+	pos  map[int]int // shared read-only index; nil on the serial paths
+}
+
+// prepWalk decomposes the walk and counts the query against st.
+func (d *D) prepWalk(walk []int, st *Stats) walkEval {
+	runs := d.splitRuns(walk)
+	st.WalkQueries++
+	st.RunsSplit += int64(len(runs))
+	return walkEval{runs: runs}
+}
+
+// ensureSharedPos precomputes the walk-position index for a sharded
+// evaluation. Only inserted-edge patches consume walk positions, so a D
+// without them never builds the index.
+func (d *D) ensureSharedPos(ev *walkEval, walk []int) {
+	if ev.pos == nil && len(d.inserted) > 0 {
+		ev.pos = make(map[int]int, len(walk))
+		for i, v := range walk {
+			ev.pos[v] = i
+		}
+	}
+}
+
+// posLookup resolves walk positions for patch-edge hits: through the
+// precomputed shared index when present, else through a private map built
+// on first use.
+type posLookup struct {
+	walk   []int
+	shared map[int]int
+	local  map[int]int
+}
+
+func (p *posLookup) of(z int) (int, bool) {
+	m := p.shared
+	if m == nil {
+		if p.local == nil {
+			p.local = make(map[int]int, len(p.walk))
+			for i, v := range p.walk {
+				p.local[v] = i
+			}
+		}
+		m = p.local
+	}
+	i, ok := m[z]
+	return i, ok
+}
+
+// parallelOver reports whether a scan over k sources should use the worker
+// pool.
+func (d *D) parallelOver(k int) bool {
+	return d.mach != nil && d.mach.Workers() > 1 && k >= parallelSourceCutoff
+}
+
+// better reports whether hit a beats hit b under the documented order:
+// extremal ZPos first (max when fromEnd, min otherwise), smallest U on ties.
+func better(a, b Hit, fromEnd bool) bool {
+	if a.ZPos != b.ZPos {
+		if fromEnd {
+			return a.ZPos > b.ZPos
+		}
+		return a.ZPos < b.ZPos
+	}
+	return a.U < b.U
+}
+
 // EdgeToWalk finds a graph edge from the source vertex set to the walk.
 // If fromEnd, it returns the hit with maximum ZPos (the paper's lowest
 // edge); otherwise minimum ZPos (highest edge). Sources must be disjoint
@@ -91,34 +178,52 @@ func (d *D) EdgeToWalk(sources []int, walk []int, fromEnd bool) (Hit, bool) {
 	if len(sources) == 0 || len(walk) == 0 {
 		return Hit{}, false
 	}
-	runs := d.splitRuns(walk)
-	d.Stats.WalkQueries++
-	d.Stats.RunsSplit += int64(len(runs))
-	var pos map[int]int // lazy walk-position index for patch-edge hits
-	posOf := func(z int) (int, bool) {
-		if pos == nil {
-			pos = make(map[int]int, len(walk))
-			for i, v := range walk {
-				pos[v] = i
-			}
-		}
-		p, ok := pos[z]
-		return p, ok
+	ev := d.prepWalk(walk, &d.Stats)
+	return d.edgeToWalk(sources, walk, fromEnd, ev, &d.Stats)
+}
+
+func (d *D) edgeToWalk(sources, walk []int, fromEnd bool, ev walkEval, st *Stats) (Hit, bool) {
+	if !d.parallelOver(len(sources)) {
+		return d.edgeToWalkSerial(sources, walk, fromEnd, ev, st)
 	}
+	// Shard the source set over the worker pool: each shard reduces to its
+	// private best, then the shards are reduced under the same order. The
+	// order is total on the reachable hits (a walk's vertices are distinct,
+	// so ZPos determines Z), hence the result is independent of the split.
+	type shardBest struct {
+		h  Hit
+		ok bool
+	}
+	d.ensureSharedPos(&ev, walk)
+	w := d.mach.Workers()
+	bests := make([]shardBest, w)
+	stats := make([]Stats, w)
+	d.mach.ExecSharded(len(sources), func(s, lo, hi int) {
+		h, ok := d.edgeToWalkSerial(sources[lo:hi], walk, fromEnd, ev, &stats[s])
+		bests[s] = shardBest{h: h, ok: ok}
+	})
 	best := Hit{ZPos: -1}
 	have := false
-	better := func(a, b Hit) bool { // does a beat b
-		if a.ZPos != b.ZPos {
-			if fromEnd {
-				return a.ZPos > b.ZPos
-			}
-			return a.ZPos < b.ZPos
+	for _, b := range bests {
+		if b.ok && (!have || better(b.h, best, fromEnd)) {
+			best, have = b.h, true
 		}
-		return a.U < b.U
 	}
+	for i := range stats {
+		st.add(stats[i])
+	}
+	return best, have
+}
+
+// edgeToWalkSerial is the one-goroutine scan over sources; st receives the
+// search-effort counters (a private shard accumulator under parallelism).
+func (d *D) edgeToWalkSerial(sources, walk []int, fromEnd bool, ev walkEval, st *Stats) (Hit, bool) {
+	pl := posLookup{walk: walk, shared: ev.pos}
+	best := Hit{ZPos: -1}
+	have := false
 	for _, u := range sources {
-		if h, ok := d.bestFromVertex(u, runs, walk, fromEnd, posOf); ok {
-			if !have || better(h, best) {
+		if h, ok := d.bestFromVertex(u, ev.runs, walk, fromEnd, &pl, st); ok {
+			if !have || better(h, best, fromEnd) {
 				best, have = h, true
 			}
 		}
@@ -135,22 +240,47 @@ func (d *D) EdgeToWalkBySource(sources []int, walk []int, fromEnd bool) (Hit, bo
 	if len(walk) == 0 {
 		return Hit{}, false
 	}
-	runs := d.splitRuns(walk)
-	d.Stats.WalkQueries++
-	d.Stats.RunsSplit += int64(len(runs))
-	var pos map[int]int
-	posOf := func(z int) (int, bool) {
-		if pos == nil {
-			pos = make(map[int]int, len(walk))
-			for i, v := range walk {
-				pos[v] = i
-			}
-		}
-		p, ok := pos[z]
-		return p, ok
+	ev := d.prepWalk(walk, &d.Stats)
+	return d.edgeToWalkBySource(sources, walk, fromEnd, ev, &d.Stats)
+}
+
+func (d *D) edgeToWalkBySource(sources, walk []int, fromEnd bool, ev walkEval, st *Stats) (Hit, bool) {
+	if !d.parallelOver(len(sources)) {
+		return d.bySourceSerial(sources, walk, fromEnd, ev, st)
 	}
+	// Per shard: the first source (lowest index) with a hit; reduce to the
+	// lowest-index shard with one. Identical to the serial early-exit scan —
+	// every source is evaluated independently — except that later sources
+	// are also examined, so Stats records more search effort.
+	type shardFirst struct {
+		h  Hit
+		ok bool
+	}
+	d.ensureSharedPos(&ev, walk)
+	w := d.mach.Workers()
+	firsts := make([]shardFirst, w)
+	stats := make([]Stats, w)
+	d.mach.ExecSharded(len(sources), func(s, lo, hi int) {
+		h, ok := d.bySourceSerial(sources[lo:hi], walk, fromEnd, ev, &stats[s])
+		firsts[s] = shardFirst{h: h, ok: ok}
+	})
+	for i := range stats {
+		st.add(stats[i])
+	}
+	for _, f := range firsts {
+		if f.ok {
+			return f.h, true
+		}
+	}
+	return Hit{}, false
+}
+
+// bySourceSerial is the one-goroutine first-hit scan in source order, the
+// BySource counterpart of edgeToWalkSerial.
+func (d *D) bySourceSerial(sources, walk []int, fromEnd bool, ev walkEval, st *Stats) (Hit, bool) {
+	pl := posLookup{walk: walk, shared: ev.pos}
 	for _, u := range sources {
-		if h, ok := d.bestFromVertex(u, runs, walk, fromEnd, posOf); ok {
+		if h, ok := d.bestFromVertex(u, ev.runs, walk, fromEnd, &pl, st); ok {
 			return h, true
 		}
 	}
@@ -163,10 +293,73 @@ func (d *D) HasEdgeToWalk(sources []int, walk []int) bool {
 	return ok
 }
 
-// bestFromVertex finds u's best hit across all runs plus patch edges.
-func (d *D) bestFromVertex(u int, runs []run, walk []int, fromEnd bool,
-	posOf func(int) (int, bool)) (Hit, bool) {
+// WalkQuery is one query of a batch: the paper's rounds issue many
+// independent (source set, walk) queries at once (Theorems 6 and 8).
+// BySource selects EdgeToWalkBySource semantics instead of EdgeToWalk.
+type WalkQuery struct {
+	Sources  []int
+	Walk     []int
+	FromEnd  bool
+	BySource bool
+}
 
+// WalkAnswer is the result of one WalkQuery.
+type WalkAnswer struct {
+	Hit Hit
+	OK  bool
+}
+
+// EdgeToWalkBatch answers a batch of independent queries, equivalent to
+// issuing them one by one in order. Batches with at least as many queries
+// as workers are distributed across the worker pool (each query evaluated
+// serially within its worker); smaller batches — where sharding by query
+// would leave workers idle — run query-by-query, each parallelizing over
+// its own source set. Callers account the batch's model cost analytically
+// (one O(log n)-depth step); this method charges nothing.
+func (d *D) EdgeToWalkBatch(qs []WalkQuery) []WalkAnswer {
+	out := make([]WalkAnswer, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	if d.mach == nil || d.mach.Workers() == 1 || len(qs) < d.mach.Workers() {
+		for i, q := range qs {
+			if q.BySource {
+				out[i].Hit, out[i].OK = d.EdgeToWalkBySource(q.Sources, q.Walk, q.FromEnd)
+			} else {
+				out[i].Hit, out[i].OK = d.EdgeToWalk(q.Sources, q.Walk, q.FromEnd)
+			}
+		}
+		return out
+	}
+	w := d.mach.Workers()
+	stats := make([]Stats, w)
+	d.mach.ExecSharded(len(qs), func(s, lo, hi int) {
+		st := &stats[s]
+		for i := lo; i < hi; i++ {
+			q := qs[i]
+			if len(q.Walk) == 0 {
+				continue
+			}
+			if q.BySource {
+				ev := d.prepWalk(q.Walk, st)
+				out[i].Hit, out[i].OK = d.bySourceSerial(q.Sources, q.Walk, q.FromEnd, ev, st)
+				continue
+			}
+			if len(q.Sources) == 0 {
+				continue
+			}
+			ev := d.prepWalk(q.Walk, st)
+			out[i].Hit, out[i].OK = d.edgeToWalkSerial(q.Sources, q.Walk, q.FromEnd, ev, st)
+		}
+	})
+	for i := range stats {
+		d.Stats.add(stats[i])
+	}
+	return out
+}
+
+// bestFromVertex finds u's best hit across all runs plus patch edges.
+func (d *D) bestFromVertex(u int, runs []run, walk []int, fromEnd bool, pl *posLookup, st *Stats) (Hit, bool) {
 	best := Hit{ZPos: -1}
 	have := false
 	take := func(h Hit) {
@@ -179,15 +372,15 @@ func (d *D) bestFromVertex(u int, runs []run, walk []int, fromEnd bool,
 			if r.patch {
 				continue
 			}
-			if z, ok := d.searchRun(u, r, walk, fromEnd); ok {
+			if z, ok := d.searchRun(u, r, walk, fromEnd, st); ok {
 				take(Hit{U: u, Z: z, ZPos: d.zPos(r, walk, z)})
 			}
 		}
 	}
-	// Patch edges from u (inserted after Build): position via the walk map.
+	// Patch edges from u (inserted after Build): position via the walk index.
 	for _, z := range d.inserted[u] {
-		d.Stats.PatchScans++
-		if p, ok := posOf(z); ok {
+		st.PatchScans++
+		if p, ok := pl.of(z); ok {
 			take(Hit{U: u, Z: z, ZPos: p})
 		}
 	}
@@ -196,7 +389,7 @@ func (d *D) bestFromVertex(u int, runs []run, walk []int, fromEnd bool,
 
 // searchRun finds u's extremal base-graph neighbor on the run, preferring
 // the walk-end side when fromEnd. Returns the neighbor z.
-func (d *D) searchRun(u int, r run, walk []int, fromEnd bool) (int, bool) {
+func (d *D) searchRun(u int, r run, walk []int, fromEnd bool, st *Stats) (int, bool) {
 	t := d.T
 	top, bot := r.top(walk), r.bot(walk)
 	// wantTreeHigh: do we want the hit nearest the run's tree-top?
@@ -209,19 +402,19 @@ func (d *D) searchRun(u int, r run, walk []int, fromEnd bool) (int, bool) {
 		// Case A: u below the run's top; its neighbors on the run are
 		// exactly its ancestors with post in [post(l), post(top)],
 		// l = LCA(u, bot).
-		d.Stats.Searches++
+		st.Searches++
 		l := d.LCA.LCA(u, bot)
-		return d.scanRange(u, t.Post(l), t.Post(top), wantTreeHigh, nil)
+		return d.scanRange(u, t.Post(l), t.Post(top), wantTreeHigh, nil, st)
 	case t.IsAncestor(u, top):
 		// Case B (multi-update mode only): u is an ancestor of the whole
 		// run; candidates are descendants with post in [post(bot),
 		// post(top)], filtered to the run's chain.
-		d.Stats.Searches++
-		d.Stats.CaseB++
+		st.Searches++
+		st.CaseB++
 		onRun := func(z int) bool {
 			return t.IsAncestor(top, z) && t.IsAncestor(z, bot)
 		}
-		return d.scanRange(u, t.Post(bot), t.Post(top), wantTreeHigh, onRun)
+		return d.scanRange(u, t.Post(bot), t.Post(top), wantTreeHigh, onRun, st)
 	default:
 		// Incomparable: a base-graph edge would be a cross edge of T —
 		// impossible.
@@ -233,14 +426,14 @@ func (d *D) searchRun(u int, r run, walk []int, fromEnd bool) (int, bool) {
 // Entries nearer the tree-top have larger post, so wantTreeHigh scans from
 // the high end. filter (may be nil) restricts to run membership; deleted
 // edges are skipped.
-func (d *D) scanRange(u, lopost, hipost int, wantTreeHigh bool, filter func(int) bool) (int, bool) {
+func (d *D) scanRange(u, lopost, hipost int, wantTreeHigh bool, filter func(int) bool, st *Stats) (int, bool) {
 	row := d.nbr[u]
 	t := d.T
 	lo := lowerBound(row, lopost, t.Post) // first index with post >= lopost
 	hi := upperBound(row, hipost, t.Post) // first index with post > hipost
 	if wantTreeHigh {
 		for i := hi - 1; i >= lo; i-- {
-			d.Stats.ScanSteps++
+			st.ScanSteps++
 			z := int(row[i])
 			if (filter == nil || filter(z)) && !d.edgeDeleted(u, z) {
 				return z, true
@@ -248,7 +441,7 @@ func (d *D) scanRange(u, lopost, hipost int, wantTreeHigh bool, filter func(int)
 		}
 	} else {
 		for i := lo; i < hi; i++ {
-			d.Stats.ScanSteps++
+			st.ScanSteps++
 			z := int(row[i])
 			if (filter == nil || filter(z)) && !d.edgeDeleted(u, z) {
 				return z, true

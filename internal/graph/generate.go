@@ -47,17 +47,35 @@ func log1p(x float64) float64 {
 }
 
 // GnpConnected returns a connected G(n,p)-like graph: a uniform random
-// spanning tree is added first, then G(n,p) edges on top (duplicates skipped).
+// spanning tree is added first, then G(n,p) edges on top (duplicates
+// skipped). Like Gnp, the overlay samples with geometric skips, so the cost
+// is O(n + m) and the 10⁵-vertex benchmark instances are cheap to generate.
 func GnpConnected(n int, p float64, rng *rand.Rand) *Graph {
 	g := RandomTree(n, rng)
-	if p <= 0 {
+	if p <= 0 || n < 2 {
 		return g
 	}
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			if rng.Float64() < p && !g.HasEdge(u, v) {
-				mustInsert(g, u, v)
+	if p >= 1 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if !g.HasEdge(u, v) {
+					mustInsert(g, u, v)
+				}
 			}
+		}
+		return g
+	}
+	u, v := 1, -1
+	lq := logq(p)
+	for u < n {
+		skip := geometric(rng, lq)
+		v += 1 + skip
+		for v >= u && u < n {
+			v -= u
+			u++
+		}
+		if u < n && !g.HasEdge(u, v) {
+			mustInsert(g, u, v)
 		}
 	}
 	return g

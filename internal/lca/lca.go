@@ -3,43 +3,83 @@
 // of Theorem 5/6 of the paper. The implementation is the classical reduction
 // to range-minimum over the Euler tour with a sparse table: O(n log n)
 // preprocessing, O(1) per query, trivially batched in parallel.
+//
+// Preprocessing executes on the machine's worker pool when one is supplied
+// (NewWith): the depth array and each sparse-table level are embarrassingly
+// parallel. The pool affects wall-clock time only; the model cost of LCA
+// preprocessing is charged analytically by the structures that embed an
+// Index (Theorem 8's build step), never here.
 package lca
 
 import (
 	"fmt"
 	"math/bits"
 
+	"repro/internal/pram"
 	"repro/internal/tree"
 )
 
-// Index answers LCA queries on a fixed tree.
+// Index answers LCA queries on a fixed tree. Use New/NewWith, then Rebuild
+// to re-point an existing Index at a new tree while reusing its buffers.
 type Index struct {
 	t      *tree.Tree
+	mach   *pram.Machine // worker pool for Rebuild; nil = serial
 	tour   []int
 	first  []int
 	depth  []int32 // depth of tour positions
 	sparse [][]int32
 }
 
-// New preprocesses t for LCA queries.
-func New(t *tree.Tree) *Index {
-	tour, first := t.EulerTour()
-	m := len(tour)
-	ix := &Index{t: t, tour: tour, first: first}
-	ix.depth = make([]int32, m)
-	for i, v := range tour {
-		ix.depth[i] = int32(t.Level(v))
+// New preprocesses t for LCA queries, serially.
+func New(t *tree.Tree) *Index { return NewWith(t, nil) }
+
+// NewWith preprocesses t for LCA queries, running the table construction on
+// mach's worker pool (nil mach = serial).
+func NewWith(t *tree.Tree, mach *pram.Machine) *Index {
+	ix := &Index{mach: mach}
+	ix.Rebuild(t)
+	return ix
+}
+
+// RebuildWith is Rebuild with a replacement worker pool, for owners whose
+// machine changes across rebuilds (dstruct.D threads its build machine
+// through so the embedded index never stays pinned to a retired pool).
+func (ix *Index) RebuildWith(t *tree.Tree, mach *pram.Machine) {
+	ix.mach = mach
+	ix.Rebuild(t)
+}
+
+// Rebuild re-points the index at t, reusing the tour, depth, and
+// sparse-table buffers from the previous build. The per-update hot path of
+// the fully dynamic maintainer rebuilds an Index for every new DFS tree;
+// reuse keeps that path allocation-light.
+func (ix *Index) Rebuild(t *tree.Tree) {
+	ix.t = t
+	ix.tour, ix.first = t.EulerTourInto(ix.tour, ix.first)
+	m := len(ix.tour)
+	if cap(ix.depth) >= m {
+		ix.depth = ix.depth[:m]
+	} else {
+		ix.depth = make([]int32, m)
 	}
+	ix.exec(m, func(i int) {
+		ix.depth[i] = int32(t.Level(ix.tour[i]))
+	})
 	levels := 1
 	if m > 1 {
 		levels = bits.Len(uint(m)) // floor(log2(m))+1
 	}
-	ix.sparse = make([][]int32, levels)
-	row0 := make([]int32, m)
-	for i := range row0 {
-		row0[i] = int32(i)
+	if cap(ix.sparse) >= levels {
+		ix.sparse = ix.sparse[:levels]
+	} else {
+		old := ix.sparse
+		ix.sparse = make([][]int32, levels)
+		copy(ix.sparse, old)
 	}
-	ix.sparse[0] = row0
+	row0 := ix.row(0, m)
+	ix.exec(m, func(i int) {
+		row0[i] = int32(i)
+	})
 	for k := 1; k < levels; k++ {
 		half := 1 << (k - 1)
 		width := m - (1 << k) + 1
@@ -47,19 +87,40 @@ func New(t *tree.Tree) *Index {
 			ix.sparse = ix.sparse[:k]
 			break
 		}
-		row := make([]int32, width)
+		row := ix.row(k, width)
 		prev := ix.sparse[k-1]
-		for i := 0; i < width; i++ {
+		// Level k depends only on level k-1: the levels run sequentially,
+		// each level's entries fill in parallel.
+		ix.exec(width, func(i int) {
 			a, b := prev[i], prev[i+half]
 			if ix.depth[a] <= ix.depth[b] {
 				row[i] = a
 			} else {
 				row[i] = b
 			}
-		}
-		ix.sparse[k] = row
+		})
 	}
-	return ix
+}
+
+// row returns sparse[k] resized to width, reusing its buffer when possible.
+func (ix *Index) row(k, width int) []int32 {
+	if cap(ix.sparse[k]) >= width {
+		ix.sparse[k] = ix.sparse[k][:width]
+	} else {
+		ix.sparse[k] = make([]int32, width)
+	}
+	return ix.sparse[k]
+}
+
+// exec runs fn over [0,n) on the worker pool when available.
+func (ix *Index) exec(n int, fn func(i int)) {
+	if ix.mach != nil {
+		ix.mach.Exec(n, fn)
+		return
+	}
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
 }
 
 // LCA returns the lowest common ancestor of u and v.

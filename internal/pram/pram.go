@@ -12,6 +12,18 @@
 //     budget. Benchmarks report both, so the O(log³ n) shape of Theorem 1 is
 //     observable independent of host constant factors.
 //
+// The split has two kinds of entry points:
+//
+//   - Charged primitives (ParFor, ParDo, Reduce, SortBy, ...) do both:
+//     they execute on the worker pool and record the model cost of the
+//     matching EREW primitive.
+//   - Execution-only primitives (Exec, ExecSharded) run on the worker pool
+//     but charge nothing. They exist for callers whose model cost is
+//     accounted analytically elsewhere — e.g. one batch of independent
+//     D-queries is charged as a single O(log n)-depth step at the call site
+//     (Theorems 6 and 8), while its real execution fans the sources out over
+//     the pool. Using a charged primitive there would double-count.
+//
 // Charging conventions (matching Section 5 of the paper):
 //
 //   - ParFor over n unit-work items: depth ⌈n/P⌉, work n.
@@ -33,8 +45,8 @@ import (
 // Machine is an EREW PRAM cost accountant with a processor budget. The zero
 // value is not usable; use NewMachine.
 type Machine struct {
-	procs   int // model processor budget (n or m in the theorems)
-	workers int // real goroutine parallelism
+	procs   atomic.Int64 // model processor budget (n or m in the theorems)
+	workers int          // real goroutine parallelism (fixed at creation)
 
 	depth atomic.Int64
 	work  atomic.Int64
@@ -42,29 +54,44 @@ type Machine struct {
 }
 
 // NewMachine returns a machine with the given model processor budget.
-// procs <= 0 defaults to 1.
+// procs <= 0 defaults to 1. The worker-pool width defaults to GOMAXPROCS.
 func NewMachine(procs int) *Machine {
+	return NewMachineWithWorkers(procs, runtime.GOMAXPROCS(0))
+}
+
+// NewMachineWithWorkers is NewMachine with an explicit worker-pool width,
+// for differential tests and benchmarks that pin the execution parallelism
+// independently of the host's core count. workers <= 0 defaults to 1.
+func NewMachineWithWorkers(procs, workers int) *Machine {
 	if procs <= 0 {
 		procs = 1
 	}
-	w := runtime.GOMAXPROCS(0)
-	if w < 1 {
-		w = 1
+	if workers < 1 {
+		workers = 1
 	}
-	return &Machine{procs: procs, workers: w}
+	m := &Machine{workers: workers}
+	m.procs.Store(int64(procs))
+	return m
 }
 
 // Procs returns the model processor budget.
-func (m *Machine) Procs() int { return m.procs }
+func (m *Machine) Procs() int { return int(m.procs.Load()) }
 
 // SetProcs changes the model processor budget (e.g. m processors for
-// preprocessing, n for updates, per Theorem 1).
+// preprocessing, n for updates, per Theorem 1). It is safe to call while
+// worker goroutines are charging against the machine: the budget is stored
+// atomically, and primitives already in flight charge under whichever budget
+// they observed.
 func (m *Machine) SetProcs(p int) {
 	if p <= 0 {
 		p = 1
 	}
-	m.procs = p
+	m.procs.Store(int64(p))
 }
+
+// Workers returns the machine's real goroutine parallelism (the worker-pool
+// width used by the execution half of every primitive).
+func (m *Machine) Workers() int { return m.workers }
 
 // Depth returns the accumulated model parallel time.
 func (m *Machine) Depth() int64 { return m.depth.Load() }
@@ -107,7 +134,8 @@ func Log2Ceil(n int) int64 {
 }
 
 func (m *Machine) parForDepth(n int) int64 {
-	d := int64(n+m.procs-1) / int64(m.procs)
+	p := m.procs.Load()
+	d := (int64(n) + p - 1) / p
 	if d < 1 && n > 0 {
 		d = 1
 	}
@@ -152,22 +180,93 @@ func (m *Machine) ParFor(n int, fn func(i int)) {
 
 // ParDo runs the given thunks in parallel and charges the depth of one
 // round (the thunks account their own inner costs against the machine).
+// Execution is bounded by the worker-pool width: at most Workers()
+// goroutines run at once, pulling thunks from a shared queue, so large
+// thunk lists do not oversubscribe the host.
 func (m *Machine) ParDo(fns ...func()) {
 	if len(fns) == 0 {
 		return
 	}
 	m.Charge(1, int64(len(fns)))
-	if len(fns) == 1 {
-		fns[0]()
+	if len(fns) == 1 || m.workers == 1 {
+		for _, fn := range fns {
+			fn()
+		}
 		return
 	}
+	w := m.workers
+	if w > len(fns) {
+		w = len(fns)
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for _, fn := range fns {
+	for g := 0; g < w; g++ {
 		wg.Add(1)
-		go func(f func()) {
+		go func() {
 			defer wg.Done()
-			f()
-		}(fn)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(fns) {
+					return
+				}
+				fns[i]()
+			}
+		}()
 	}
 	wg.Wait()
+}
+
+// ExecSharded partitions [0,n) into at most Workers() contiguous shards and
+// runs fn(shard, lo, hi) concurrently, one goroutine per shard. It returns
+// the number of shards used (shard indices are 0..shards-1, so callers can
+// give each shard a private accumulator slot and reduce afterwards).
+//
+// ExecSharded is execution-only: it charges nothing against the machine.
+// It is the execution half of operations whose model cost the caller
+// accounts analytically — e.g. a batch of independent D-queries charged as
+// one O(log n)-depth step (Theorems 6 and 8) — so the recorded depth/work
+// stay exactly the paper's regardless of how the host runs the batch.
+func (m *Machine) ExecSharded(n int, fn func(shard, lo, hi int)) int {
+	if n <= 0 {
+		return 0
+	}
+	w := m.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		fn(0, 0, n)
+		return 1
+	}
+	chunk := (n + w - 1) / w
+	shards := (n + chunk - 1) / chunk
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		lo := s * chunk
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			fn(s, lo, hi)
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	return shards
+}
+
+// Exec runs fn(i) for i in [0,n) on the worker pool without charging any
+// model cost (see ExecSharded). fn must be safe to call concurrently for
+// distinct i.
+func (m *Machine) Exec(n int, fn func(i int)) {
+	if n < serialCutoff || m.workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	m.ExecSharded(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
 }

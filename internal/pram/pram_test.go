@@ -175,6 +175,92 @@ func TestSortAccountingMatchesTheorem(t *testing.T) {
 	}
 }
 
+func TestParDoBoundedFanOut(t *testing.T) {
+	m := NewMachine(4)
+	// Many more thunks than workers: all must run exactly once, with at most
+	// Workers() in flight at any moment.
+	const n = 1000
+	var inFlight, peak, ran atomic.Int32
+	fns := make([]func(), n)
+	for i := range fns {
+		fns[i] = func() {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			ran.Add(1)
+			inFlight.Add(-1)
+		}
+	}
+	m.ParDo(fns...)
+	if ran.Load() != n {
+		t.Fatalf("ran %d of %d thunks", ran.Load(), n)
+	}
+	if int(peak.Load()) > m.Workers() {
+		t.Fatalf("peak concurrency %d exceeds worker cap %d", peak.Load(), m.Workers())
+	}
+}
+
+func TestExecShardedCoversAllIndices(t *testing.T) {
+	m := NewMachine(8)
+	for _, n := range []int{0, 1, 3, 100, 5000} {
+		hits := make([]int32, n)
+		shards := m.ExecSharded(n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		if n > 0 && (shards < 1 || shards > m.Workers()) {
+			t.Fatalf("n=%d: %d shards with %d workers", n, shards, m.Workers())
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d hit %d times", n, i, h)
+			}
+		}
+		if m.Depth() != 0 || m.Work() != 0 || m.Steps() != 0 {
+			t.Fatal("ExecSharded must not charge the machine")
+		}
+	}
+}
+
+func TestExecChargesNothing(t *testing.T) {
+	m := NewMachine(8)
+	hits := make([]int32, 4096)
+	m.Exec(len(hits), func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+	if m.Depth() != 0 || m.Work() != 0 || m.Steps() != 0 {
+		t.Fatal("Exec must not charge the machine")
+	}
+}
+
+func TestSetProcsConcurrentWithCharges(t *testing.T) {
+	// SetProcs during in-flight ParFor/Charge must be race-free (run under
+	// -race) and never produce a non-positive budget.
+	m := NewMachine(3)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for p := 1; p <= 100; p++ {
+			m.SetProcs(p)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		m.ParFor(3000, func(int) {})
+	}
+	<-done
+	if m.Procs() != 100 {
+		t.Fatalf("procs=%d want 100", m.Procs())
+	}
+}
+
 func TestSetProcs(t *testing.T) {
 	m := NewMachine(0)
 	if m.Procs() != 1 {

@@ -69,6 +69,12 @@ type Oracle interface {
 	EdgeToWalkBySource(sources, walk []int, fromEnd bool) (dstruct.Hit, bool)
 	// HasEdgeToWalk reports whether any source has an edge to the walk.
 	HasEdgeToWalk(sources, walk []int) bool
+	// EdgeToWalkBatch answers a batch of independent queries, equivalent to
+	// issuing them one by one in order. The paper's rounds are built from
+	// such batches; implementations may execute the whole batch at once
+	// (dstruct.D fans it out over the PRAM worker pool, the semi-streaming
+	// oracle answers each query with its own pass).
+	EdgeToWalkBatch(qs []dstruct.WalkQuery) []dstruct.WalkAnswer
 }
 
 // Engine reroots subtrees of a fixed base tree T. One Engine serves one

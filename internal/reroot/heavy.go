@@ -1,6 +1,10 @@
 package reroot
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/dstruct"
+)
 
 // heavy handles the hard case of Section 4.4: the entry vertex rc lies
 // inside a heavy subtree τ, is not its root, and is outside T(v_H). The
@@ -293,15 +297,19 @@ func (e *Engine) hangersOfWalk(walk []int, ix *walkIndex) []int {
 }
 
 // eligible filters subtree roots to those with at least one edge to the
-// target vertex list (one batch of existence queries).
+// target vertex list (one batch of existence queries, executed together).
 func (e *Engine) eligible(c *Comp, roots []int, target []int) []int {
-	var out []int
 	total := 0
-	for _, r := range roots {
+	qs := make([]dstruct.WalkQuery, len(roots))
+	for i, r := range roots {
 		sv := e.T.SubtreeVertices(r, nil)
 		total += len(sv)
-		if e.D.HasEdgeToWalk(sv, target) {
-			out = append(out, r)
+		qs[i] = dstruct.WalkQuery{Sources: sv, Walk: target, FromEnd: true}
+	}
+	var out []int
+	for i, ans := range e.D.EdgeToWalkBatch(qs) {
+		if ans.OK {
+			out = append(out, roots[i])
 		}
 	}
 	if total > 0 {

@@ -3,6 +3,8 @@ package reroot
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/dstruct"
 )
 
 // walkBuilder assembles a traversal walk: an alternating sequence of tree
@@ -250,23 +252,29 @@ func (e *Engine) processComp(c *Comp, walk []int, remaining []Piece) ([]*Comp, e
 	for i, p := range paths {
 		pathVerts[i] = p.vertices(e.T, nil)
 	}
-	// Subtree→path edges (one batch of independent queries).
+	// Subtree→path and path→path connectivity: all pairs are independent
+	// existence queries, issued as one batch (one coalesced round of the
+	// model; one worker-pool dispatch of the execution).
+	var connQs []dstruct.WalkQuery
+	var connUnions [][2]int
 	for si, s := range subs {
 		sv := s.vertices(e.T, nil)
 		for pi := range paths {
 			totalQueried += len(sv)
-			if e.D.HasEdgeToWalk(sv, pathVerts[pi]) {
-				union(len(paths)+si, pi)
-			}
+			connQs = append(connQs, dstruct.WalkQuery{Sources: sv, Walk: pathVerts[pi], FromEnd: true})
+			connUnions = append(connUnions, [2]int{len(paths) + si, pi})
 		}
 	}
-	// Path→path edges.
 	for i := 0; i < len(paths); i++ {
 		for j := i + 1; j < len(paths); j++ {
 			totalQueried += len(pathVerts[i])
-			if e.D.HasEdgeToWalk(pathVerts[i], pathVerts[j]) {
-				union(i, j)
-			}
+			connQs = append(connQs, dstruct.WalkQuery{Sources: pathVerts[i], Walk: pathVerts[j], FromEnd: true})
+			connUnions = append(connUnions, [2]int{i, j})
+		}
+	}
+	for k, ans := range e.D.EdgeToWalkBatch(connQs) {
+		if ans.OK {
+			union(connUnions[k][0], connUnions[k][1])
 		}
 	}
 	if totalQueried > 0 {
@@ -285,6 +293,7 @@ func (e *Engine) processComp(c *Comp, walk []int, remaining []Piece) ([]*Comp, e
 	// Root queries: one batch over all groups.
 	var kids []*Comp
 	rootQueried := 0
+	rootQs := make([]dstruct.WalkQuery, 0, len(order))
 	for _, r := range order {
 		g := groups[r]
 		nPaths := 0
@@ -298,7 +307,12 @@ func (e *Engine) processComp(c *Comp, walk []int, remaining []Piece) ([]*Comp, e
 		}
 		src := e.materialize(g)
 		rootQueried += len(src)
-		hit, ok := e.D.EdgeToWalk(src, walk, true)
+		rootQs = append(rootQs, dstruct.WalkQuery{Sources: src, Walk: walk, FromEnd: true})
+	}
+	rootAns := e.D.EdgeToWalkBatch(rootQs)
+	for gi, r := range order {
+		g := groups[r]
+		hit, ok := rootAns[gi].Hit, rootAns[gi].OK
 		if !ok {
 			return nil, fmt.Errorf("reroot: component %v has no edge to walk (len %d)", g, len(walk))
 		}

@@ -171,6 +171,22 @@ func (o *oracle) HasEdgeToWalk(sources, walk []int) bool {
 	return ok
 }
 
+// EdgeToWalkBatch answers the batch one query at a time. The simulator is
+// eager — each query costs one physical pass — while the synchronous
+// schedule would answer the whole batch with a single shared pass; that
+// coalesced count is what Stats.Batches / ScheduledPasses report.
+func (o *oracle) EdgeToWalkBatch(qs []dstruct.WalkQuery) []dstruct.WalkAnswer {
+	out := make([]dstruct.WalkAnswer, len(qs))
+	for i, q := range qs {
+		if q.BySource {
+			out[i].Hit, out[i].OK = o.EdgeToWalkBySource(q.Sources, q.Walk, q.FromEnd)
+		} else {
+			out[i].Hit, out[i].OK = o.EdgeToWalk(q.Sources, q.Walk, q.FromEnd)
+		}
+	}
+	return out
+}
+
 // Maintainer is the semi-streaming fully dynamic DFS algorithm.
 type Maintainer struct {
 	s      *Stream

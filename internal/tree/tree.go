@@ -239,11 +239,26 @@ func (t *Tree) Vertices() []int {
 // first occurrence. Holes have first == -1. This is the input to the sparse
 // table LCA structure.
 func (t *Tree) EulerTour() (tour []int, first []int) {
-	first = make([]int, len(t.present))
+	return t.EulerTourInto(nil, nil)
+}
+
+// EulerTourInto is EulerTour reusing the capacity of the supplied slices,
+// for callers that recompute the tour once per update.
+func (t *Tree) EulerTourInto(tour []int, first []int) ([]int, []int) {
+	n := len(t.present)
+	if cap(first) >= n {
+		first = first[:n]
+	} else {
+		first = make([]int, n)
+	}
 	for i := range first {
 		first[i] = -1
 	}
-	tour = make([]int, 0, 2*t.live-1)
+	if cap(tour) >= 2*t.live-1 {
+		tour = tour[:0]
+	} else {
+		tour = make([]int, 0, 2*t.live-1)
+	}
 	type frame struct{ v, ci int }
 	stack := []frame{{t.Root, 0}}
 	first[t.Root] = 0
