@@ -9,11 +9,13 @@ package dfs
 //	depth/op    — model PRAM depth charged per update
 //	passes/op   — semi-streaming scheduled passes (Theorem 15)
 //	netrounds/op— CONGEST rounds (Theorem 16)
+//	updates/sec — serving-layer applied-update throughput (E9)
 
 import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/baseline"
@@ -322,7 +324,7 @@ func BenchmarkEdgeToWalkExec(b *testing.B) {
 				d, sources, walk := benchQueryInstance(n, w)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, ok := d.EdgeToWalk(sources, walk, true); !ok {
+					if _, ok := d.EdgeToWalk(sources, walk, true, nil); !ok {
 						b.Fatal("no hit")
 					}
 				}
@@ -356,12 +358,95 @@ func BenchmarkUpdateExec(b *testing.B) {
 				rng := rand.New(rand.NewSource(1))
 				g := GnpConnected(n, 3.0/float64(n), rng)
 				mach := pram.NewMachineWithWorkers(2*g.NumEdges()+g.NumVertexSlots()+1, w)
-				m := NewMaintainerWith(g, Options{RebuildD: true, Machine: mach})
+				// ReuseTree: the single-tenant perf path rebuilds the tree in
+				// place per update (nothing here retains old trees).
+				m := NewMaintainerWith(g, Options{RebuildD: true, Machine: mach, ReuseTree: true})
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					benchUpdate(b, m, rng)
 				}
 			})
+		}
+	}
+}
+
+// E9: serving-layer throughput. Sweeps shards × tenant graphs × read/write
+// mix; on a multi-core host updates/sec scales with the shard count because
+// each shard is an independent update loop (reads are lock-free snapshot
+// loads at any shard count). Conflicted updates (two submitters racing the
+// same edge from stale snapshots) still cost a full mailbox round trip, so
+// they are measured, not skipped.
+
+func BenchmarkServiceThroughput(b *testing.B) {
+	shardCounts := []int{1}
+	if w := runtime.GOMAXPROCS(0); w > 1 {
+		shardCounts = append(shardCounts, w)
+	}
+	const n = 256
+	var seedCtr atomic.Int64
+	for _, shards := range shardCounts {
+		for _, graphs := range []int{1, 8} {
+			for _, readPct := range []int{0, 90} {
+				name := fmt.Sprintf("shards=%d/graphs=%d/read=%d%%", shards, graphs, readPct)
+				b.Run(name, func(b *testing.B) {
+					svc := NewService(ServiceConfig{Shards: shards})
+					defer svc.Close()
+					ids := make([]GraphID, graphs)
+					for i := range ids {
+						ids[i] = GraphID(fmt.Sprintf("bench-%d", i))
+						rng := rand.New(rand.NewSource(int64(10 + i)))
+						if _, err := svc.CreateGraph(ids[i], GnpConnected(n, 4.0/n, rng)); err != nil {
+							b.Fatal(err)
+						}
+					}
+					var updates, conflicts int64
+					b.ResetTimer()
+					b.RunParallel(func(pb *testing.PB) {
+						rng := rand.New(rand.NewSource(1000 + seedCtr.Add(1)))
+						for pb.Next() {
+							id := ids[rng.Intn(len(ids))]
+							snap, err := svc.Snapshot(id)
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							if rng.Intn(100) < readPct {
+								u, v := rng.Intn(n), rng.Intn(n)
+								if snap.Tree.Present(u) && snap.Tree.Present(v) {
+									if _, err := snap.IsAncestor(u, v); err != nil {
+										b.Error(err)
+										return
+									}
+								}
+								continue
+							}
+							var u Update
+							if e, ok := RandomNonEdge(snap.Graph, rng); ok && rng.Intn(2) == 0 {
+								u = Update{Kind: InsertEdge, U: e.U, V: e.V}
+							} else if e, ok := RandomEdge(snap.Graph, rng); ok {
+								u = Update{Kind: DeleteEdge, U: e.U, V: e.V}
+							} else {
+								continue
+							}
+							fut, err := svc.Apply(id, u)
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							if _, _, err := fut.Wait(); err != nil {
+								atomic.AddInt64(&conflicts, 1) // stale-snapshot race, still a full round trip
+							} else {
+								atomic.AddInt64(&updates, 1)
+							}
+						}
+					})
+					b.StopTimer()
+					if total := updates + conflicts; total > 0 {
+						b.ReportMetric(float64(updates)/b.Elapsed().Seconds(), "updates/sec")
+						b.ReportMetric(100*float64(conflicts)/float64(total), "conflict%")
+					}
+				})
+			}
 		}
 	}
 }

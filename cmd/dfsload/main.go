@@ -1,0 +1,194 @@
+// Command dfsload drives the multi-graph serving layer (dfs.Service) with
+// synthetic tenant traffic: a fleet of writers streams edge updates through
+// Apply/ApplyBatch while readers hammer snapshot queries (IsAncestor, Path,
+// periodic full DFS verification), then the per-shard metrics are printed.
+//
+// Usage:
+//
+//	dfsload                                  # defaults: GOMAXPROCS shards
+//	dfsload -shards 8 -graphs 32 -n 2048 \
+//	        -writers 8 -readers 16 -batch 4 -duration 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	dfs "repro"
+)
+
+func main() {
+	var (
+		shards   = flag.Int("shards", runtime.GOMAXPROCS(0), "service shards (update loops)")
+		graphs   = flag.Int("graphs", 4*runtime.GOMAXPROCS(0), "tenant graphs")
+		n        = flag.Int("n", 512, "vertices per graph")
+		deg      = flag.Float64("deg", 4.0, "average degree of the initial graphs")
+		writers  = flag.Int("writers", runtime.GOMAXPROCS(0), "writer goroutines")
+		readers  = flag.Int("readers", 2*runtime.GOMAXPROCS(0), "reader goroutines")
+		batch    = flag.Int("batch", 4, "updates per ApplyBatch round (1 = plain Apply)")
+		verifyPc = flag.Int("verify", 2, "percent of reads running full DFS verification")
+		duration = flag.Duration("duration", 5*time.Second, "load duration")
+		seed     = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	svc := dfs.NewService(dfs.ServiceConfig{Shards: *shards})
+	ids := make([]dfs.GraphID, *graphs)
+	setup := time.Now()
+	for i := range ids {
+		ids[i] = dfs.GraphID(fmt.Sprintf("tenant-%04d", i))
+		rng := rand.New(rand.NewSource(*seed + int64(i)))
+		g := dfs.GnpConnected(*n, *deg/float64(*n), rng)
+		if _, err := svc.CreateGraph(ids[i], g); err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", ids[i], err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("created %d graphs (n=%d, deg=%.1f) on %d shards in %v\n",
+		*graphs, *n, *deg, *shards, time.Since(setup).Round(time.Millisecond))
+
+	var (
+		stop                      atomic.Bool
+		applied, conflicts        atomic.Int64
+		reads, verifies, readErrs atomic.Int64
+		wgW, wgR                  sync.WaitGroup
+		fatal                     = make(chan error, *writers+*readers)
+	)
+
+	// Writers: each owns a disjoint slice of the graphs (round-robin), keeps
+	// a mirror per graph for valid update generation, and submits coalesced
+	// cross-graph batches. Mirror divergence is impossible: a graph has
+	// exactly one writer, and the shard loop applies in submission order.
+	for w := 0; w < *writers; w++ {
+		wgW.Add(1)
+		go func(w int) {
+			defer wgW.Done()
+			rng := rand.New(rand.NewSource(*seed + 10_000 + int64(w)))
+			var mine []dfs.GraphID
+			mirrors := map[dfs.GraphID]*dfs.Graph{}
+			for i := w; i < len(ids); i += *writers {
+				snap, err := svc.Snapshot(ids[i])
+				if err != nil {
+					fatal <- err
+					return
+				}
+				mine = append(mine, ids[i])
+				mirrors[ids[i]] = snap.Graph.Clone()
+			}
+			if len(mine) == 0 {
+				return
+			}
+			for !stop.Load() {
+				items := make([]dfs.BatchItem, 0, *batch)
+				for len(items) < *batch {
+					id := mine[rng.Intn(len(mine))]
+					mirror := mirrors[id]
+					var u dfs.Update
+					if e, ok := dfs.RandomNonEdge(mirror, rng); ok && rng.Intn(2) == 0 {
+						mirror.InsertEdge(e.U, e.V)
+						u = dfs.Update{Kind: dfs.InsertEdge, U: e.U, V: e.V}
+					} else if e, ok := dfs.RandomEdge(mirror, rng); ok {
+						mirror.DeleteEdge(e.U, e.V)
+						u = dfs.Update{Kind: dfs.DeleteEdge, U: e.U, V: e.V}
+					} else {
+						continue
+					}
+					items = append(items, dfs.BatchItem{Graph: id, Update: u})
+				}
+				var futs []*dfs.UpdateFuture
+				var err error
+				if *batch == 1 {
+					fut, aerr := svc.Apply(items[0].Graph, items[0].Update)
+					futs, err = []*dfs.UpdateFuture{fut}, aerr
+				} else {
+					futs, err = svc.ApplyBatch(items)
+				}
+				if err != nil {
+					return // service closing
+				}
+				for _, fut := range futs {
+					if _, _, err := fut.Wait(); err != nil {
+						conflicts.Add(1)
+					} else {
+						applied.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Readers: snapshot queries across all tenants; a configurable slice of
+	// reads run the full DFS verifier against the frozen snapshot.
+	for r := 0; r < *readers; r++ {
+		wgR.Add(1)
+		go func(r int) {
+			defer wgR.Done()
+			rng := rand.New(rand.NewSource(*seed + 20_000 + int64(r)))
+			for !stop.Load() {
+				id := ids[rng.Intn(len(ids))]
+				snap, err := svc.Snapshot(id)
+				if err != nil {
+					readErrs.Add(1)
+					continue
+				}
+				u, v := rng.Intn(*n), rng.Intn(*n)
+				if snap.Tree.Present(u) && snap.Tree.Present(v) {
+					if _, err := snap.IsAncestor(u, v); err != nil {
+						readErrs.Add(1)
+					}
+					if snap.Tree.IsAncestor(v, u) {
+						if _, err := snap.Path(u, v); err != nil {
+							readErrs.Add(1)
+						}
+					}
+				}
+				reads.Add(1)
+				if rng.Intn(100) < *verifyPc {
+					verifies.Add(1)
+					if err := snap.Verify(); err != nil {
+						fatal <- fmt.Errorf("snapshot %s@%d failed verification: %w", id, snap.Version, err)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	deadline := time.After(*duration)
+	select {
+	case err := <-fatal:
+		fmt.Fprintf(os.Stderr, "FATAL: %v\n", err)
+		stop.Store(true)
+		wgW.Wait()
+		wgR.Wait()
+		os.Exit(1)
+	case <-deadline:
+	}
+	stop.Store(true)
+	wgW.Wait()
+	wgR.Wait()
+	if err := svc.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "close: %v\n", err)
+	}
+
+	secs := duration.Seconds()
+	fmt.Printf("\n%-8s %7s %7s %8s %12s %14s %12s\n",
+		"shard", "graphs", "queue", "updates", "updates/sec", "pram depth", "pram work")
+	m := svc.Metrics()
+	for _, sm := range m.Shards {
+		fmt.Printf("%-8d %7d %3d/%-3d %8d %12.0f %14d %12d\n",
+			sm.Shard, sm.Graphs, sm.QueueDepth, sm.QueueCap,
+			sm.Updates, sm.UpdatesPerSec, sm.PRAMDepth, sm.PRAMWork)
+	}
+	fmt.Printf("\napplied %d updates (%.0f/sec), %d conflicts; %d reads (%.0f/sec), %d verified snapshots, %d read errors\n",
+		applied.Load(), float64(applied.Load())/secs,
+		conflicts.Load(),
+		reads.Load(), float64(reads.Load())/secs,
+		verifies.Load(), readErrs.Load())
+}

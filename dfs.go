@@ -25,6 +25,26 @@
 // back edges), checkable with Verify. PRAM costs (depth/work) are recorded
 // analytically by the Machine attached to each maintainer; wall-clock
 // performance is measured by the repository's benchmarks.
+//
+// # Serving layer
+//
+// On top of the single-tenant maintainers, Service is a sharded,
+// snapshot-isolated serving layer for multi-graph traffic: it owns many
+// graph instances, hashes each GraphID to a shard (one update-loop
+// goroutine plus one Machine per shard), and serializes each graph's
+// updates through the shard's buffered mailbox. Apply returns a Future;
+// ApplyBatch coalesces a cross-graph batch into one mailbox round per
+// shard.
+//
+// Reads are snapshot-isolated: after every update the shard publishes an
+// immutable GraphSnapshot (persistent DFS tree + deep graph clone + cost
+// counters) through an atomic pointer, and Tree / IsAncestor / Path /
+// Verify answer from the latest snapshot without ever blocking the update
+// loop or observing a half-applied update. A snapshot, once obtained,
+// stays valid indefinitely. This is sound because D's query path is
+// read-only — search-effort counters go to per-call QueryStats
+// accumulators, not shared state — so published structures need no reader
+// synchronization.
 package dfs
 
 import (
@@ -37,6 +57,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/pram"
 	"repro/internal/reroot"
+	"repro/internal/service"
 	"repro/internal/stream"
 	"repro/internal/tree"
 	"repro/internal/verify"
@@ -96,6 +117,36 @@ type Network = distributed.Network
 // use (custom rerooting drivers).
 type D = dstruct.D
 
+// QueryStats aggregates D-query search effort. Queries thread a per-call
+// accumulator (D itself is read-only under queries); maintainers roll the
+// per-update accumulators into a running total.
+type QueryStats = dstruct.Stats
+
+// Service is the sharded, snapshot-isolated multi-graph serving layer.
+type Service = service.Service
+
+// ServiceConfig sizes a Service (shards, mailbox depth, per-shard workers).
+type ServiceConfig = service.Config
+
+// GraphID names one tenant graph of a Service.
+type GraphID = service.GraphID
+
+// GraphSnapshot is one graph's immutable published state.
+type GraphSnapshot = service.Snapshot
+
+// UpdateFuture is a pending asynchronous update submission.
+type UpdateFuture = service.Future
+
+// BatchItem is one update of a cross-graph ApplyBatch.
+type BatchItem = service.BatchItem
+
+// ServiceMetrics / ServiceShardMetrics are the serving layer's sampled
+// operational counters.
+type ServiceMetrics = service.Metrics
+
+// ServiceShardMetrics is one shard's sample within ServiceMetrics.
+type ServiceShardMetrics = service.ShardMetrics
+
 // NewGraph returns a graph with n isolated vertices.
 func NewGraph(n int) *Graph { return graph.New(n) }
 
@@ -114,6 +165,9 @@ func NewMaintainerWith(g *Graph, opt Options) *Maintainer { return core.New(g, o
 func Preprocess(g *Graph, maxUpdates int) *FaultTolerant {
 	return faulttol.Preprocess(g, maxUpdates)
 }
+
+// NewService starts the multi-graph serving layer.
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
 
 // NewStreaming builds the semi-streaming maintainer over g's edges.
 func NewStreaming(g *Graph) *Streaming { return stream.New(g) }

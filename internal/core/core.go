@@ -71,6 +71,13 @@ type Options struct {
 	// Sequential selects the Baswana-et-al-style sequential rerooting
 	// baseline instead of the paper's parallel scheduler.
 	Sequential bool
+	// ReuseTree rebuilds the DFS tree in place after every update
+	// (tree.Rebuild) instead of allocating a fresh one. Callers that retain
+	// trees across updates — notably the serving layer, which publishes the
+	// tree in immutable snapshots — must leave this off; single-tenant
+	// drivers that only inspect Tree() between updates can turn it on to
+	// make the per-update hot path allocation-free.
+	ReuseTree bool
 }
 
 // DynamicDFS maintains a DFS tree of a dynamic undirected graph.
@@ -85,8 +92,12 @@ type DynamicDFS struct {
 	rebuildD   bool
 	headroom   int
 	sequential bool
+	reuseTree  bool
 	lastStats  reroot.Stats
 	updates    int
+
+	qstats  dstruct.Stats // query search effort accumulated across updates
+	scratch reroot.Scratch
 }
 
 // New builds the maintainer over a clone of g: computes the initial DFS
@@ -105,6 +116,7 @@ func New(g *graph.Graph, opt Options) *DynamicDFS {
 		rebuildD:   opt.RebuildD,
 		headroom:   opt.Headroom,
 		sequential: opt.Sequential,
+		reuseTree:  opt.ReuseTree,
 	}
 	dd.pseudo = dd.g.NumVertexSlots() + dd.headroom
 	dd.rebuildTreeFromScratch()
@@ -165,6 +177,11 @@ func (dd *DynamicDFS) Machine() *pram.Machine { return dd.m }
 // LastStats returns the rerooting statistics of the most recent update.
 func (dd *DynamicDFS) LastStats() reroot.Stats { return dd.lastStats }
 
+// QueryStats returns the D-query search effort accumulated over every
+// update processed so far (each update's engine threads a per-call
+// accumulator through the oracle; the maintainer rolls them up here).
+func (dd *DynamicDFS) QueryStats() dstruct.Stats { return dd.qstats }
+
 // Updates returns the number of updates processed.
 func (dd *DynamicDFS) Updates() int { return dd.updates }
 
@@ -222,12 +239,28 @@ func (dd *DynamicDFS) rebuildTreeFromScratch() {
 
 // finish installs the engine's result as the new tree and refreshes D.
 func (dd *DynamicDFS) finish(e *reroot.Engine) error {
-	nt, err := e.Result(dd.pseudo, dd.present())
+	var nt *tree.Tree
+	var err error
+	if dd.reuseTree {
+		nt, err = e.ResultInto(dd.t, dd.pseudo, dd.present())
+		if err != nil {
+			// ResultInto mutates dd.t in place before failing; unlike the
+			// fresh-tree path the old tree is gone, so recover a valid DFS
+			// tree of the (already mutated) graph from scratch rather than
+			// leaving the maintainer poisoned.
+			dd.rebuildTreeFromScratch()
+			dd.d.Rebuild(dd.g, dd.t, dd.m)
+			dd.l = dd.d.LCA
+		}
+	} else {
+		nt, err = e.Result(dd.pseudo, dd.present())
+	}
 	if err != nil {
 		return fmt.Errorf("core: rebuilding tree: %w", err)
 	}
 	dd.installTree(nt)
 	dd.lastStats = e.Stats
+	dd.qstats.Add(e.QStats)
 	return nil
 }
 
@@ -247,9 +280,10 @@ func (dd *DynamicDFS) installTree(nt *tree.Tree) {
 	}
 }
 
-// engine creates a rerooting engine for the current tree.
+// engine creates a rerooting engine for the current tree, drawing its
+// per-update buffers from the maintainer's reusable scratch.
 func (dd *DynamicDFS) engine() *reroot.Engine {
-	e := reroot.New(dd.t, dd.l, dd.d, dd.m)
+	e := reroot.NewWithScratch(dd.t, dd.l, dd.d, dd.m, &dd.scratch)
 	e.Sequential = dd.sequential
 	return e
 }
@@ -318,5 +352,5 @@ func (dd *DynamicDFS) lowestEdgesToPath(subs []int, low, high int) []dstruct.Wal
 		dd.m.Charge(lg, int64(len(src))*lg)
 		qs[i] = dstruct.WalkQuery{Sources: src, Walk: walk, FromEnd: false}
 	}
-	return dd.d.EdgeToWalkBatch(qs)
+	return dd.d.EdgeToWalkBatch(qs, &dd.qstats)
 }

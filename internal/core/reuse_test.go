@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+// TestReuseTreeMatchesPersistent drives two maintainers through the same
+// update sequence — one allocating a fresh tree per update, one rebuilding
+// in place via Options.ReuseTree — and demands identical trees, identical
+// query-effort totals, and a valid DFS tree at every step.
+func TestReuseTreeMatchesPersistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 160
+	g := graph.GnpConnected(n, 4.0/float64(n), rng)
+	fresh := New(g, Options{RebuildD: true})
+	reuse := New(g, Options{RebuildD: true, ReuseTree: true})
+
+	for step := 0; step < 120; step++ {
+		var u Update
+		switch rng.Intn(5) {
+		case 0, 1:
+			if e, ok := graph.RandomEdgeNotIn(fresh.Graph(), rng); ok {
+				u = Update{Kind: InsertEdge, U: e.U, V: e.V}
+			} else {
+				continue
+			}
+		case 2, 3:
+			if e, ok := graph.RandomExistingEdge(fresh.Graph(), rng); ok {
+				u = Update{Kind: DeleteEdge, U: e.U, V: e.V}
+			} else {
+				continue
+			}
+		case 4:
+			u = Update{Kind: InsertVertex, Neighbors: []int{rng.Intn(n), n + rng.Intn(4)}}
+			if !fresh.Graph().IsVertex(u.Neighbors[1]) {
+				u.Neighbors = u.Neighbors[:1]
+			}
+		}
+		vf, errF := fresh.Apply(u)
+		vr, errR := reuse.Apply(u)
+		if (errF == nil) != (errR == nil) {
+			t.Fatalf("step %d (%v): fresh err %v, reuse err %v", step, u.Kind, errF, errR)
+		}
+		if errF != nil {
+			continue
+		}
+		if vf != vr {
+			t.Fatalf("step %d: inserted vertex %d vs %d", step, vf, vr)
+		}
+		tf, tr := fresh.Tree(), reuse.Tree()
+		if tf.N() != tr.N() || tf.Root != tr.Root {
+			t.Fatalf("step %d: tree shape diverged (%d/%d roots %d/%d)",
+				step, tf.N(), tr.N(), tf.Root, tr.Root)
+		}
+		for v := 0; v < tf.N(); v++ {
+			if tf.Parent[v] != tr.Parent[v] || tf.Present(v) != tr.Present(v) {
+				t.Fatalf("step %d: vertex %d: parent %d/%d present %v/%v",
+					step, v, tf.Parent[v], tr.Parent[v], tf.Present(v), tr.Present(v))
+			}
+			if tf.Present(v) && (tf.Post(v) != tr.Post(v) || tf.Level(v) != tr.Level(v) || tf.Size(v) != tr.Size(v)) {
+				t.Fatalf("step %d: vertex %d numbering diverged", step, v)
+			}
+		}
+		if err := verify.DFSForest(reuse.Graph(), tr, reuse.PseudoRoot()); err != nil {
+			t.Fatalf("step %d: in-place tree invalid: %v", step, err)
+		}
+		if fresh.QueryStats() != reuse.QueryStats() {
+			t.Fatalf("step %d: query stats diverged: %+v vs %+v",
+				step, fresh.QueryStats(), reuse.QueryStats())
+		}
+	}
+	if reuse.Updates() == 0 {
+		t.Fatal("no updates applied")
+	}
+}

@@ -11,6 +11,11 @@
 // answering queries for the fault-tolerant algorithm while the DFS tree
 // evolves away from T.
 //
+// Concurrency: Build, Rebuild, and the Patch* methods mutate D and require
+// exclusive access. The EdgeToWalk query family is read-only — search-effort
+// counters go to a caller-supplied per-call *Stats — so any number of
+// goroutines may query one D concurrently between mutations.
+//
 // Execution vs accounting: D runs the paper's parallelism for real. Build
 // sorts the per-vertex neighbor rows across the machine's worker pool, and
 // the EdgeToWalk family shards large source batches over the same pool
@@ -45,15 +50,13 @@ type D struct {
 	deletedE   map[graph.Edge]struct{} // patch: deleted base edges (canonical)
 	patchVerts map[int]struct{}        // vertices with no base numbering
 	numPatches int
-
-	// Stats counts search effort for the experiment harness. Parallel
-	// queries accumulate into per-shard copies merged on completion, so the
-	// counters are exact (not torn), though EdgeToWalkBySource records more
-	// effort in parallel mode (it cannot early-exit across shards).
-	Stats Stats
 }
 
-// Stats aggregates search-effort counters.
+// Stats aggregates search-effort counters. The query path never mutates D:
+// every EdgeToWalk-family call accumulates into a caller-supplied per-call
+// Stats, so a built D serves concurrent queries from many goroutines as
+// long as each passes its own accumulator (parallel shards within one call
+// use private copies merged on completion, so the counters are exact).
 type Stats struct {
 	Searches    int64 // per-source per-run binary searches (fast path)
 	ScanSteps   int64 // filtered-scan steps (slow path, Case B and skip-deleted)
@@ -63,8 +66,9 @@ type Stats struct {
 	RunsSplit   int64 // total base-tree fragments across all walk queries
 }
 
-// add accumulates a shard-local Stats into s.
-func (s *Stats) add(o Stats) {
+// Add accumulates another Stats (a shard-local copy, or a per-call
+// accumulator being rolled into a running total) into s.
+func (s *Stats) Add(o Stats) {
 	s.Searches += o.Searches
 	s.ScanSteps += o.ScanSteps
 	s.CaseB += o.CaseB

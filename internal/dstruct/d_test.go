@@ -80,7 +80,7 @@ func TestEdgeToWalkMatchesNaive(t *testing.T) {
 			}
 		}
 		for _, fromEnd := range []bool{true, false} {
-			got, gok := d.EdgeToWalk(sources, walk, fromEnd)
+			got, gok := d.EdgeToWalk(sources, walk, fromEnd, nil)
 			want, wok := naiveEdgeToWalk(g, sources, walk, fromEnd)
 			if gok != wok {
 				t.Fatalf("trial %d fromEnd=%v: ok=%v want %v (walk=%v sources=%v)",
@@ -156,7 +156,7 @@ func TestEdgeToWalkWithPatches(t *testing.T) {
 			}
 		}
 		for _, fromEnd := range []bool{true, false} {
-			got, gok := d.EdgeToWalk(sources, walk, fromEnd)
+			got, gok := d.EdgeToWalk(sources, walk, fromEnd, nil)
 			want, wok := naiveEdgeToWalk(g, sources, walk, fromEnd)
 			if gok != wok || (gok && got.ZPos != want.ZPos) {
 				t.Fatalf("trial %d fromEnd=%v: got %v/%v want %v/%v",
@@ -178,17 +178,17 @@ func TestEdgeToWalkBySource(t *testing.T) {
 	}
 	tr := baseline.StaticDFS(g)
 	d := Build(g, tr, nil)
-	h, ok := d.EdgeToWalkBySource([]int{4, 0}, []int{3, 2}, true)
+	h, ok := d.EdgeToWalkBySource([]int{4, 0}, []int{3, 2}, true, nil)
 	if !ok || h.U != 4 || h.Z != 3 {
 		t.Fatalf("hit=%v ok=%v, want U=4 Z=3", h, ok)
 	}
 	// Source 0 first: its hit (0,3) wins even though 4 also connects.
-	h, ok = d.EdgeToWalkBySource([]int{0, 4}, []int{3, 2}, true)
+	h, ok = d.EdgeToWalkBySource([]int{0, 4}, []int{3, 2}, true, nil)
 	if !ok || h.U != 0 {
 		t.Fatalf("hit=%v ok=%v, want U=0", h, ok)
 	}
 	// Source with no edge to the walk is skipped.
-	if _, ok = d.EdgeToWalkBySource([]int{4}, []int{1}, true); ok {
+	if _, ok = d.EdgeToWalkBySource([]int{4}, []int{1}, true, nil); ok {
 		t.Fatal("source 4 has no edge to vertex 1")
 	}
 }
@@ -227,7 +227,7 @@ func TestPatchVertexOnWalk(t *testing.T) {
 	if c := d.SplitRunCount(walk); c != 2 {
 		t.Fatalf("walk through patch vertex: %d runs, want 2", c)
 	}
-	h, ok := d.EdgeToWalk([]int{3}, walk, true)
+	h, ok := d.EdgeToWalk([]int{3}, walk, true, nil)
 	if !ok || h.Z != v || h.U != 3 {
 		t.Fatalf("hit=%v ok=%v, want (3->%d)", h, ok, v)
 	}
@@ -242,10 +242,10 @@ func TestDeletedEdgeSkipped(t *testing.T) {
 		t.Fatal(err)
 	}
 	d.PatchDeleteEdge(0, 2)
-	if _, ok := d.EdgeToWalk([]int{2}, []int{0}, true); ok {
+	if _, ok := d.EdgeToWalk([]int{2}, []int{0}, true, nil); ok {
 		t.Fatal("deleted edge (0,2) still reported")
 	}
-	if _, ok := d.EdgeToWalk([]int{3}, []int{0}, true); !ok {
+	if _, ok := d.EdgeToWalk([]int{3}, []int{0}, true, nil); !ok {
 		t.Fatal("surviving edge (0,3) not found")
 	}
 }
@@ -255,11 +255,11 @@ func TestInsertedThenDeletedEdge(t *testing.T) {
 	tr := baseline.StaticDFS(g)
 	d := Build(g, tr, nil)
 	d.PatchInsertEdge(0, 3)
-	if h, ok := d.EdgeToWalk([]int{3}, []int{0}, true); !ok || h.Z != 0 {
+	if h, ok := d.EdgeToWalk([]int{3}, []int{0}, true, nil); !ok || h.Z != 0 {
 		t.Fatalf("inserted edge not visible: %v %v", h, ok)
 	}
 	d.PatchDeleteEdge(0, 3)
-	if _, ok := d.EdgeToWalk([]int{3}, []int{0}, true); ok {
+	if _, ok := d.EdgeToWalk([]int{3}, []int{0}, true, nil); ok {
 		t.Fatal("edge visible after insert+delete")
 	}
 	if d.NumPatches() != 2 {

@@ -106,8 +106,8 @@ func TestParallelEdgeToWalkMatchesSerial(t *testing.T) {
 				t.Fatalf("trial %d: %d sources does not exercise the parallel path", trial, len(sources))
 			}
 			for _, fromEnd := range []bool{true, false} {
-				hs, oks := serial.EdgeToWalk(sources, walk, fromEnd)
-				hp, okp := parallel.EdgeToWalk(sources, walk, fromEnd)
+				hs, oks := serial.EdgeToWalk(sources, walk, fromEnd, nil)
+				hp, okp := parallel.EdgeToWalk(sources, walk, fromEnd, nil)
 				if oks != okp || hs != hp {
 					t.Fatalf("trial %d fromEnd=%v: serial %v/%v parallel %v/%v",
 						trial, fromEnd, hs, oks, hp, okp)
@@ -140,8 +140,8 @@ func TestParallelEdgeToWalkBySourceMatchesSerial(t *testing.T) {
 				sources[i], sources[j] = sources[j], sources[i]
 			})
 			for _, fromEnd := range []bool{true, false} {
-				hs, oks := serial.EdgeToWalkBySource(sources, walk, fromEnd)
-				hp, okp := parallel.EdgeToWalkBySource(sources, walk, fromEnd)
+				hs, oks := serial.EdgeToWalkBySource(sources, walk, fromEnd, nil)
+				hp, okp := parallel.EdgeToWalkBySource(sources, walk, fromEnd, nil)
 				if oks != okp || hs != hp {
 					t.Fatalf("trial %d fromEnd=%v: serial %v/%v parallel %v/%v",
 						trial, fromEnd, hs, oks, hp, okp)
@@ -177,16 +177,16 @@ func TestEdgeToWalkBatchMatchesSequentialCalls(t *testing.T) {
 				BySource: q%4 == 3,
 			})
 		}
-		got := parallel.EdgeToWalkBatch(qs)
+		got := parallel.EdgeToWalkBatch(qs, nil)
 		if len(got) != len(qs) {
 			t.Fatalf("trial %d: %d answers for %d queries", trial, len(got), len(qs))
 		}
 		for i, q := range qs {
 			var want WalkAnswer
 			if q.BySource {
-				want.Hit, want.OK = serial.EdgeToWalkBySource(q.Sources, q.Walk, q.FromEnd)
+				want.Hit, want.OK = serial.EdgeToWalkBySource(q.Sources, q.Walk, q.FromEnd, nil)
 			} else {
-				want.Hit, want.OK = serial.EdgeToWalk(q.Sources, q.Walk, q.FromEnd)
+				want.Hit, want.OK = serial.EdgeToWalk(q.Sources, q.Walk, q.FromEnd, nil)
 			}
 			if got[i] != want {
 				t.Fatalf("trial %d query %d (bySource=%v): batch %v want %v",
@@ -227,8 +227,8 @@ func TestRebuildMatchesFreshBuild(t *testing.T) {
 			}
 			sources := bigSourceSet(g, onWalk)
 			for _, fromEnd := range []bool{true, false} {
-				hr, okr := d.EdgeToWalk(sources, walk, fromEnd)
-				hf, okf := fresh.EdgeToWalk(sources, walk, fromEnd)
+				hr, okr := d.EdgeToWalk(sources, walk, fromEnd, nil)
+				hf, okf := fresh.EdgeToWalk(sources, walk, fromEnd, nil)
 				if okr != okf || hr != hf {
 					t.Fatalf("trial %d fromEnd=%v: rebuilt %v/%v fresh %v/%v",
 						trial, fromEnd, hr, okr, hf, okf)

@@ -174,12 +174,18 @@ func better(a, b Hit, fromEnd bool) bool {
 // If fromEnd, it returns the hit with maximum ZPos (the paper's lowest
 // edge); otherwise minimum ZPos (highest edge). Sources must be disjoint
 // from the walk. Ties between sources resolve to the smallest U.
-func (d *D) EdgeToWalk(sources []int, walk []int, fromEnd bool) (Hit, bool) {
+//
+// st receives the call's search-effort counters; nil discards them. D is
+// never mutated, so concurrent calls with distinct accumulators are safe.
+func (d *D) EdgeToWalk(sources []int, walk []int, fromEnd bool, st *Stats) (Hit, bool) {
 	if len(sources) == 0 || len(walk) == 0 {
 		return Hit{}, false
 	}
-	ev := d.prepWalk(walk, &d.Stats)
-	return d.edgeToWalk(sources, walk, fromEnd, ev, &d.Stats)
+	if st == nil {
+		st = new(Stats)
+	}
+	ev := d.prepWalk(walk, st)
+	return d.edgeToWalk(sources, walk, fromEnd, ev, st)
 }
 
 func (d *D) edgeToWalk(sources, walk []int, fromEnd bool, ev walkEval, st *Stats) (Hit, bool) {
@@ -210,7 +216,7 @@ func (d *D) edgeToWalk(sources, walk []int, fromEnd bool, ev walkEval, st *Stats
 		}
 	}
 	for i := range stats {
-		st.add(stats[i])
+		st.Add(stats[i])
 	}
 	return best, have
 }
@@ -235,13 +241,17 @@ func (d *D) edgeToWalkSerial(sources, walk []int, fromEnd bool, ev walkEval, st 
 // edge to the walk, stopping at the first source that does (used by the
 // heavy-subtree traversal's "deepest hang point" selection, where the pick
 // is by source priority rather than walk position). The returned hit uses
-// the source's best walk position under fromEnd.
-func (d *D) EdgeToWalkBySource(sources []int, walk []int, fromEnd bool) (Hit, bool) {
+// the source's best walk position under fromEnd. st is the per-call Stats
+// accumulator (nil discards).
+func (d *D) EdgeToWalkBySource(sources []int, walk []int, fromEnd bool, st *Stats) (Hit, bool) {
 	if len(walk) == 0 {
 		return Hit{}, false
 	}
-	ev := d.prepWalk(walk, &d.Stats)
-	return d.edgeToWalkBySource(sources, walk, fromEnd, ev, &d.Stats)
+	if st == nil {
+		st = new(Stats)
+	}
+	ev := d.prepWalk(walk, st)
+	return d.edgeToWalkBySource(sources, walk, fromEnd, ev, st)
 }
 
 func (d *D) edgeToWalkBySource(sources, walk []int, fromEnd bool, ev walkEval, st *Stats) (Hit, bool) {
@@ -265,7 +275,7 @@ func (d *D) edgeToWalkBySource(sources, walk []int, fromEnd bool, ev walkEval, s
 		firsts[s] = shardFirst{h: h, ok: ok}
 	})
 	for i := range stats {
-		st.add(stats[i])
+		st.Add(stats[i])
 	}
 	for _, f := range firsts {
 		if f.ok {
@@ -287,9 +297,10 @@ func (d *D) bySourceSerial(sources, walk []int, fromEnd bool, ev walkEval, st *S
 	return Hit{}, false
 }
 
-// HasEdgeToWalk reports whether any source has an edge to the walk.
-func (d *D) HasEdgeToWalk(sources []int, walk []int) bool {
-	_, ok := d.EdgeToWalk(sources, walk, true)
+// HasEdgeToWalk reports whether any source has an edge to the walk. st is
+// the per-call Stats accumulator (nil discards).
+func (d *D) HasEdgeToWalk(sources []int, walk []int, st *Stats) bool {
+	_, ok := d.EdgeToWalk(sources, walk, true, st)
 	return ok
 }
 
@@ -315,18 +326,22 @@ type WalkAnswer struct {
 // serially within its worker); smaller batches — where sharding by query
 // would leave workers idle — run query-by-query, each parallelizing over
 // its own source set. Callers account the batch's model cost analytically
-// (one O(log n)-depth step); this method charges nothing.
-func (d *D) EdgeToWalkBatch(qs []WalkQuery) []WalkAnswer {
+// (one O(log n)-depth step); this method charges nothing. st is the
+// per-call Stats accumulator (nil discards).
+func (d *D) EdgeToWalkBatch(qs []WalkQuery, st *Stats) []WalkAnswer {
 	out := make([]WalkAnswer, len(qs))
 	if len(qs) == 0 {
 		return out
 	}
+	if st == nil {
+		st = new(Stats)
+	}
 	if d.mach == nil || d.mach.Workers() == 1 || len(qs) < d.mach.Workers() {
 		for i, q := range qs {
 			if q.BySource {
-				out[i].Hit, out[i].OK = d.EdgeToWalkBySource(q.Sources, q.Walk, q.FromEnd)
+				out[i].Hit, out[i].OK = d.EdgeToWalkBySource(q.Sources, q.Walk, q.FromEnd, st)
 			} else {
-				out[i].Hit, out[i].OK = d.EdgeToWalk(q.Sources, q.Walk, q.FromEnd)
+				out[i].Hit, out[i].OK = d.EdgeToWalk(q.Sources, q.Walk, q.FromEnd, st)
 			}
 		}
 		return out
@@ -334,26 +349,26 @@ func (d *D) EdgeToWalkBatch(qs []WalkQuery) []WalkAnswer {
 	w := d.mach.Workers()
 	stats := make([]Stats, w)
 	d.mach.ExecSharded(len(qs), func(s, lo, hi int) {
-		st := &stats[s]
+		sst := &stats[s]
 		for i := lo; i < hi; i++ {
 			q := qs[i]
 			if len(q.Walk) == 0 {
 				continue
 			}
 			if q.BySource {
-				ev := d.prepWalk(q.Walk, st)
-				out[i].Hit, out[i].OK = d.bySourceSerial(q.Sources, q.Walk, q.FromEnd, ev, st)
+				ev := d.prepWalk(q.Walk, sst)
+				out[i].Hit, out[i].OK = d.bySourceSerial(q.Sources, q.Walk, q.FromEnd, ev, sst)
 				continue
 			}
 			if len(q.Sources) == 0 {
 				continue
 			}
-			ev := d.prepWalk(q.Walk, st)
-			out[i].Hit, out[i].OK = d.edgeToWalkSerial(q.Sources, q.Walk, q.FromEnd, ev, st)
+			ev := d.prepWalk(q.Walk, sst)
+			out[i].Hit, out[i].OK = d.edgeToWalkSerial(q.Sources, q.Walk, q.FromEnd, ev, sst)
 		}
 	})
 	for i := range stats {
-		d.Stats.add(stats[i])
+		st.Add(stats[i])
 	}
 	return out
 }

@@ -43,7 +43,7 @@ func TestQuickEdgeToWalk(t *testing.T) {
 			}
 		}
 		for _, fromEnd := range []bool{true, false} {
-			got, gok := d.EdgeToWalk(sources, walk, fromEnd)
+			got, gok := d.EdgeToWalk(sources, walk, fromEnd, nil)
 			want, wok := naiveEdgeToWalk(g, sources, walk, fromEnd)
 			if gok != wok {
 				return false
@@ -91,8 +91,8 @@ func TestQuickResetPatches(t *testing.T) {
 				sources = append(sources, v)
 			}
 		}
-		a, aok := d.EdgeToWalk(sources, walk, true)
-		b, bok := fresh.EdgeToWalk(sources, walk, true)
+		a, aok := d.EdgeToWalk(sources, walk, true, nil)
+		b, bok := fresh.EdgeToWalk(sources, walk, true, nil)
 		return aok == bok && a == b
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {

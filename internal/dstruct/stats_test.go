@@ -1,0 +1,129 @@
+package dstruct
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// statsWorkload builds a D and a deterministic query list exercising both
+// EdgeToWalk flavours over serial and sharded source sets.
+func statsWorkload(t *testing.T, seed int64) (*D, *D, []WalkQuery) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := 900 + rng.Intn(400)
+	g := graph.GnpConnected(n, 5.0/float64(n), rng)
+	serial, parallel, _ := buildPair(g, rng)
+	applyRandomPatches(g, rng, serial, parallel)
+	var qs []WalkQuery
+	for q := 0; q < 16; q++ {
+		walk, onWalk := randomWalkInTree(g, rng)
+		if len(walk) == 0 {
+			continue
+		}
+		sources := bigSourceSet(g, onWalk)
+		if q%3 == 0 {
+			sources = sources[:rng.Intn(len(sources)+1)]
+		}
+		qs = append(qs, WalkQuery{
+			Sources:  sources,
+			Walk:     walk,
+			FromEnd:  rng.Intn(2) == 0,
+			BySource: q%4 == 3,
+		})
+	}
+	return serial, parallel, qs
+}
+
+func runQuery(d *D, q WalkQuery, st *Stats) {
+	if q.BySource {
+		d.EdgeToWalkBySource(q.Sources, q.Walk, q.FromEnd, st)
+	} else {
+		d.EdgeToWalk(q.Sources, q.Walk, q.FromEnd, st)
+	}
+}
+
+// TestPerCallStatsSumToSharedTotals is the refactor's accounting check: the
+// per-call accumulators, summed, must equal the totals a single shared
+// accumulator records across the same query sequence — exactly what the old
+// d.Stats field used to accumulate.
+func TestPerCallStatsSumToSharedTotals(t *testing.T) {
+	for _, seed := range []int64{211, 223} {
+		serial, parallel, qs := statsWorkload(t, seed)
+		var sharedSerial Stats
+		for _, q := range qs {
+			runQuery(serial, q, &sharedSerial)
+		}
+		for name, d := range map[string]*D{"serial": serial, "parallel": parallel} {
+			var shared Stats
+			for _, q := range qs {
+				runQuery(d, q, &shared)
+			}
+			var summed Stats
+			for _, q := range qs {
+				var st Stats
+				runQuery(d, q, &st)
+				summed.Add(st)
+			}
+			if shared != summed {
+				t.Fatalf("seed %d %s: shared accumulator %+v != summed per-call %+v",
+					seed, name, shared, summed)
+			}
+			if shared.WalkQueries != int64(len(qs)) {
+				t.Fatalf("seed %d %s: %d walk queries recorded for %d issued",
+					seed, name, shared.WalkQueries, len(qs))
+			}
+			// A batch with at least as many queries as workers evaluates
+			// each query serially within its worker, so its per-shard
+			// accumulators must reduce to exactly the serial totals (the
+			// parallel one-by-one path may record more BySource effort — it
+			// cannot early-exit across source shards — which is why the
+			// reference here is the serial D, not `shared`).
+			var batched Stats
+			d.EdgeToWalkBatch(qs, &batched)
+			if batched != sharedSerial {
+				t.Fatalf("seed %d %s: batch stats %+v != serial sequential %+v",
+					seed, name, batched, sharedSerial)
+			}
+		}
+	}
+}
+
+// TestConcurrentQueriesDistinctAccumulators runs many goroutines against
+// one D (no patches in flight), each with a private Stats; with the query
+// path read-only this must be race-free (checked under -race) and every
+// accumulator must match the serial rerun of its own queries.
+func TestConcurrentQueriesDistinctAccumulators(t *testing.T) {
+	serial, parallel, qs := statsWorkload(t, 227)
+	if len(qs) == 0 {
+		t.Skip("empty workload")
+	}
+	for name, d := range map[string]*D{"serial": serial, "parallel": parallel} {
+		const readers = 8
+		got := make([]Stats, readers)
+		var wg sync.WaitGroup
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				for i := r; i < len(qs); i += readers {
+					runQuery(d, qs[i], &got[r])
+				}
+			}(r)
+		}
+		wg.Wait()
+		want := make([]Stats, readers)
+		for r := 0; r < readers; r++ {
+			for i := r; i < len(qs); i += readers {
+				runQuery(d, qs[i], &want[r])
+			}
+		}
+		for r := range got {
+			if got[r] != want[r] {
+				t.Fatalf("%s reader %d: concurrent stats %+v != serial %+v", name, r, got[r], want[r])
+			}
+		}
+	}
+}

@@ -78,7 +78,6 @@ func (ft *FaultTolerant) Apply(updates []core.Update) (*Result, error) {
 	}
 	d := ft.dd0.D()
 	defer d.ResetPatches()
-	statsBefore := d.Stats
 
 	session := core.NewFromState(ft.g0.Clone(), ft.dd0.Tree(), d, ft.dd0.PseudoRoot(), ft.m)
 	res := &Result{PseudoRoot: ft.dd0.PseudoRoot()}
@@ -90,8 +89,12 @@ func (ft *FaultTolerant) Apply(updates []core.Update) (*Result, error) {
 	}
 	res.Tree = session.Tree()
 	res.Graph = session.Graph()
-	res.Fragments = d.Stats.RunsSplit - statsBefore.RunsSplit
-	res.FragQueries = d.Stats.WalkQueries - statsBefore.WalkQueries
+	// The session threads per-call Stats accumulators through every D query
+	// (D itself is never mutated by queries), so the batch's fragment counts
+	// are simply its rolled-up totals — no before/after delta needed.
+	qs := session.QueryStats()
+	res.Fragments = qs.RunsSplit
+	res.FragQueries = qs.WalkQueries
 	return res, nil
 }
 

@@ -59,22 +59,25 @@ func (s *Stats) Add(o Stats) {
 // Oracle answers the engine's edge queries (the role of the paper's data
 // structure D). dstruct.D is the PRAM implementation; the semi-streaming
 // and distributed simulators provide pass-counting and message-counting
-// implementations of the same queries.
+// implementations of the same queries. Every method takes the caller's
+// per-call Stats accumulator (nil discards): implementations must not keep
+// internal mutable query counters, so a shared oracle stays safe for
+// concurrent readers.
 type Oracle interface {
 	// EdgeToWalk returns a graph edge from the source set to the walk,
 	// extremal by walk position (fromEnd = the paper's "lowest edge").
-	EdgeToWalk(sources, walk []int, fromEnd bool) (dstruct.Hit, bool)
+	EdgeToWalk(sources, walk []int, fromEnd bool, st *dstruct.Stats) (dstruct.Hit, bool)
 	// EdgeToWalkBySource returns the first source in order with an edge to
 	// the walk.
-	EdgeToWalkBySource(sources, walk []int, fromEnd bool) (dstruct.Hit, bool)
+	EdgeToWalkBySource(sources, walk []int, fromEnd bool, st *dstruct.Stats) (dstruct.Hit, bool)
 	// HasEdgeToWalk reports whether any source has an edge to the walk.
-	HasEdgeToWalk(sources, walk []int) bool
+	HasEdgeToWalk(sources, walk []int, st *dstruct.Stats) bool
 	// EdgeToWalkBatch answers a batch of independent queries, equivalent to
 	// issuing them one by one in order. The paper's rounds are built from
 	// such batches; implementations may execute the whole batch at once
 	// (dstruct.D fans it out over the PRAM worker pool, the semi-streaming
 	// oracle answers each query with its own pass).
-	EdgeToWalkBatch(qs []dstruct.WalkQuery) []dstruct.WalkAnswer
+	EdgeToWalkBatch(qs []dstruct.WalkQuery, st *dstruct.Stats) []dstruct.WalkAnswer
 }
 
 // Engine reroots subtrees of a fixed base tree T. One Engine serves one
@@ -97,22 +100,52 @@ type Engine struct {
 	Sequential bool
 
 	Stats Stats
+
+	// QStats accumulates the search effort of every oracle query this
+	// engine issued (the per-call accumulator threaded through Oracle).
+	QStats dstruct.Stats
+}
+
+// Scratch holds the per-update buffers of an engine so a maintainer can
+// reuse them across updates instead of reallocating (parent copy + visited
+// mask, the last per-update allocations after the D/LCA/tree reuse). A
+// Scratch must not be shared by engines running concurrently.
+type Scratch struct {
+	parent  []int
+	visited []bool
 }
 
 // New creates an engine that writes rerooted parent assignments over a copy
 // of t's parent array. d must answer queries for the current graph (base
 // structure plus patches for the in-flight update).
 func New(t *tree.Tree, l *lca.Index, d Oracle, m *pram.Machine) *Engine {
+	return NewWithScratch(t, l, d, m, nil)
+}
+
+// NewWithScratch is New drawing the engine's per-update buffers from s
+// (nil s allocates fresh buffers, equivalent to New).
+func NewWithScratch(t *tree.Tree, l *lca.Index, d Oracle, m *pram.Machine, s *Scratch) *Engine {
 	if m == nil {
 		m = pram.NewMachine(t.Live())
+	}
+	if s == nil {
+		s = &Scratch{}
+	}
+	n := t.N()
+	s.parent = append(s.parent[:0], t.Parent...)
+	if cap(s.visited) >= n {
+		s.visited = s.visited[:n]
+		clear(s.visited)
+	} else {
+		s.visited = make([]bool, n)
 	}
 	return &Engine{
 		T:       t,
 		L:       l,
 		D:       d,
 		M:       m,
-		parent:  append([]int(nil), t.Parent...),
-		visited: make([]bool, t.N()),
+		parent:  s.parent,
+		visited: s.visited,
 	}
 }
 
@@ -153,11 +186,24 @@ func (e *Engine) Reroot(r0, rstar, attachParent int) error {
 
 // Result builds the final tree from the accumulated parent assignments.
 // newRoot is the root of the updated DFS tree; present marks live vertices
-// (nil = all of T's vertices).
+// (nil = all of T's vertices). The engine's parent buffer is finalized in
+// place (tree.Build copies it), so the engine is spent afterwards.
 func (e *Engine) Result(newRoot int, present []bool) (*tree.Tree, error) {
-	par := append([]int(nil), e.parent...)
-	par[newRoot] = tree.None
-	return tree.Build(newRoot, par, present)
+	e.parent[newRoot] = tree.None
+	return tree.Build(newRoot, e.parent, present)
+}
+
+// ResultInto is Result rebuilding prev in place (tree.Rebuild) instead of
+// allocating a fresh tree. prev must not be retained by any reader — the
+// maintainer opts in via core.Options.ReuseTree; the serving layer, which
+// publishes trees in snapshots, must not use it. On error prev is left in
+// an unspecified state.
+func (e *Engine) ResultInto(prev *tree.Tree, newRoot int, present []bool) (*tree.Tree, error) {
+	e.parent[newRoot] = tree.None
+	if err := prev.Rebuild(newRoot, e.parent, present); err != nil {
+		return nil, err
+	}
+	return prev, nil
 }
 
 // phaseOf derives the phase a component is processed in: the smallest i

@@ -68,7 +68,7 @@ func (e *Engine) heavy(c *Comp, rcPiece, vH int) ([]*Comp, error) {
 	eligL := e.eligible(c, hangersL, pcVerts)
 	src1 := append(e.subtreeVerts(eligL), pcVerts...)
 	e.chargeBatch(c, len(src1))
-	hit1, ok1 := e.D.EdgeToWalk(src1, pLwalk, true) // lowest on p*_L = highest on path(rc,r')
+	hit1, ok1 := e.D.EdgeToWalk(src1, pLwalk, true, &e.QStats) // lowest on p*_L = highest on path(rc,r')
 	if !ok1 {
 		return nil, fmt.Errorf("heavy: pc-component has no edge to path(rc,r')")
 	}
@@ -104,17 +104,25 @@ func (e *Engine) heavy(c *Comp, rcPiece, vH int) ([]*Comp, error) {
 		}
 	}
 	eligD = append(eligD, e.eligible(c, chainHangers, pcVerts)...)
-	srcD := e.subtreeVerts(eligD)
-	e.chargeBatch(c, len(srcD))
-	hitD, okD := e.D.EdgeToWalk(srcD, pLwalk, true)
-	ydEff := rc
-	if okD {
-		ydEff = hitD.Z
-	}
 	if vl == rPrime {
 		// No room above vl for the p/r legs; the paper's scenarios assume
 		// a non-empty upper path.
 		return e.heavyFallback(c, rcPiece)
+	}
+	// The (xd,yd) witness query and pc's own highest-edge probe are
+	// independent (same walk, disjoint concerns): issue them as one batch —
+	// one round of the model, one worker-pool dispatch — instead of the two
+	// sequential probes this scenario used to make.
+	srcD := e.subtreeVerts(eligD)
+	e.chargeBatch(c, len(srcD)+len(pcVerts))
+	probeAns := e.D.EdgeToWalkBatch([]dstruct.WalkQuery{
+		{Sources: srcD, Walk: pLwalk, FromEnd: true},
+		{Sources: pcVerts, Walk: pLwalk, FromEnd: true},
+	}, &e.QStats)
+	hitD, okD := probeAns[0].Hit, probeAns[0].OK
+	ydEff := rc
+	if okD {
+		ydEff = hitD.Z
 	}
 	// Query segment S = [sStart..r'] for (xp,yp), restricted so that
 	// (a) sStart is strictly above vl (the back-edge target may not land on
@@ -129,12 +137,11 @@ func (e *Engine) heavy(c *Comp, rcPiece, vH int) ([]*Comp, error) {
 	if t.Level(ydEff) < t.Level(sStart) {
 		sStart = ydEff
 	}
-	if hitPC, okPC := e.D.EdgeToWalk(pcVerts, pLwalk, true); okPC {
+	if hitPC, okPC := probeAns[1].Hit, probeAns[1].OK; okPC {
 		if t.Level(hitPC.Z) < t.Level(sStart) {
 			sStart = hitPC.Z
 		}
 	}
-	e.chargeBatch(c, len(pcVerts))
 	segS := t.PathUp(sStart, rPrime)
 	// Ordered sources by hang depth on the chain, deepest LCA(x',vH) first.
 	var ordered []int
@@ -149,7 +156,7 @@ func (e *Engine) heavy(c *Comp, rcPiece, vH int) ([]*Comp, error) {
 		}
 	}
 	e.chargeBatch(c, len(ordered))
-	hitP, okP := e.D.EdgeToWalkBySource(ordered, segS, true)
+	hitP, okP := e.D.EdgeToWalkBySource(ordered, segS, true, &e.QStats)
 	if !okP {
 		return e.heavyFallback(c, rcPiece)
 	}
@@ -168,7 +175,7 @@ func (e *Engine) heavy(c *Comp, rcPiece, vH int) ([]*Comp, error) {
 	splitP := e.splitSubtree(rPrime, ixP, nil)
 	srcs2 := append(e.eligiblePieceVerts(c, splitP, pcVerts), pcVerts...)
 	e.chargeBatch(c, len(srcs2))
-	hit2, ok2 := e.D.EdgeToWalk(srcs2, pPwalk, true)
+	hit2, ok2 := e.D.EdgeToWalk(srcs2, pPwalk, true, &e.QStats)
 	if !ok2 {
 		return e.heavyFallback(c, rcPiece)
 	}
@@ -200,7 +207,7 @@ func (e *Engine) heavy(c *Comp, rcPiece, vH int) ([]*Comp, error) {
 		tv := t.SubtreeVertices(tauP, nil)
 		e.chargeBatch(c, len(tv))
 		// Lowest (deepest) edge from τp to path(rc,r').
-		if hitT, okT := e.D.EdgeToWalk(tv, pLwalk, false); okT {
+		if hitT, okT := e.D.EdgeToWalk(tv, pLwalk, false, &e.QStats); okT {
 			if t.Level(hitT.Z) > t.Level(yr) {
 				xr, yr = hitT.U, hitT.Z
 			}
@@ -223,7 +230,7 @@ func (e *Engine) heavy(c *Comp, rcPiece, vH int) ([]*Comp, error) {
 			return e.heavyFallback(c, rcPiece)
 		}
 		e.chargeBatch(c, len(pcVerts))
-		if e.D.HasEdgeToWalk(pcVerts, gap) {
+		if e.D.HasEdgeToWalk(pcVerts, gap, &e.QStats) {
 			return e.heavyFallback(c, rcPiece)
 		}
 	}
@@ -240,7 +247,7 @@ func (e *Engine) heavy(c *Comp, rcPiece, vH int) ([]*Comp, error) {
 	splitR := e.splitSubtree(rPrime, ixR, nil)
 	srcs3 := append(e.eligiblePieceVerts(c, splitR, pcVerts), pcVerts...)
 	e.chargeBatch(c, len(srcs3))
-	hit3, ok3 := e.D.EdgeToWalk(srcs3, pRwalk, true)
+	hit3, ok3 := e.D.EdgeToWalk(srcs3, pRwalk, true, &e.QStats)
 	if !ok3 {
 		return e.heavyFallback(c, rcPiece)
 	}
@@ -307,7 +314,7 @@ func (e *Engine) eligible(c *Comp, roots []int, target []int) []int {
 		qs[i] = dstruct.WalkQuery{Sources: sv, Walk: target, FromEnd: true}
 	}
 	var out []int
-	for i, ans := range e.D.EdgeToWalkBatch(qs) {
+	for i, ans := range e.D.EdgeToWalkBatch(qs, &e.QStats) {
 		if ans.OK {
 			out = append(out, roots[i])
 		}

@@ -1,6 +1,10 @@
 package reroot
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/dstruct"
+)
 
 // disintegrate handles a component whose entry rc lies in a subtree piece τ
 // that either forms the whole component (type C1) or is entered at its root
@@ -84,28 +88,33 @@ func (e *Engine) disconnect(c *Comp, rcPiece int) ([]*Comp, error) {
 	upper := pcVerts[len(pcVerts)-half:]
 	tauVerts := t.SubtreeVertices(p.Root, nil)
 
-	e.chargeBatch(c, len(tauVerts))
+	// The upper-half probe and the two directed full-path queries are
+	// independent: issue all three as one batch (one round instead of two
+	// sequential probes), then select by the probe's outcome.
+	e.chargeBatch(c, 3*len(tauVerts))
+	ans := e.D.EdgeToWalkBatch([]dstruct.WalkQuery{
+		{Sources: tauVerts, Walk: upper, FromEnd: true},
+		{Sources: tauVerts, Walk: pcVerts, FromEnd: true},
+		{Sources: tauVerts, Walk: pcVerts, FromEnd: false},
+	}, &e.QStats)
 	var x, y int
 	var coverDown bool // after entering pc at y, traverse toward Bot?
-	if _, hasUpper := e.D.EdgeToWalk(tauVerts, upper, true); hasUpper {
+	if ans[0].OK {
 		// τ reaches the upper half: enter at the highest τ→pc edge and
 		// sweep down to Bot, covering every (deeper) τ→pc edge. pcVerts is
 		// bot..top order, so "nearest top" is fromEnd.
-		hit, ok := e.D.EdgeToWalk(tauVerts, pcVerts, true)
-		if !ok {
+		if !ans[1].OK {
 			return nil, fmt.Errorf("disconnect: τ lost its edge to pc")
 		}
-		x, y, coverDown = hit.U, hit.Z, true
+		x, y, coverDown = ans[1].Hit.U, ans[1].Hit.Z, true
 	} else {
 		// All τ→pc edges in the lower half: enter at the lowest and sweep
 		// up to Top.
-		hit, ok := e.D.EdgeToWalk(tauVerts, pcVerts, false)
-		if !ok {
+		if !ans[2].OK {
 			return nil, fmt.Errorf("disconnect: τ has no edge to pc")
 		}
-		x, y, coverDown = hit.U, hit.Z, false
+		x, y, coverDown = ans[2].Hit.U, ans[2].Hit.Z, false
 	}
-	e.chargeBatch(c, len(tauVerts))
 
 	// Walk: rc → x within τ, hop to y, then sweep pc on the side holding
 	// all τ→pc edges (which is also the longer side, halving the residual).

@@ -272,7 +272,7 @@ func (e *Engine) processComp(c *Comp, walk []int, remaining []Piece) ([]*Comp, e
 			connUnions = append(connUnions, [2]int{i, j})
 		}
 	}
-	for k, ans := range e.D.EdgeToWalkBatch(connQs) {
+	for k, ans := range e.D.EdgeToWalkBatch(connQs, &e.QStats) {
 		if ans.OK {
 			union(connUnions[k][0], connUnions[k][1])
 		}
@@ -309,7 +309,7 @@ func (e *Engine) processComp(c *Comp, walk []int, remaining []Piece) ([]*Comp, e
 		rootQueried += len(src)
 		rootQs = append(rootQs, dstruct.WalkQuery{Sources: src, Walk: walk, FromEnd: true})
 	}
-	rootAns := e.D.EdgeToWalkBatch(rootQs)
+	rootAns := e.D.EdgeToWalkBatch(rootQs, &e.QStats)
 	for gi, r := range order {
 		g := groups[r]
 		hit, ok := rootAns[gi].Hit, rootAns[gi].OK

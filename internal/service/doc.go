@@ -1,0 +1,44 @@
+// Package service is the multi-tenant serving layer over the fully dynamic
+// DFS maintainer: one Service owns many independent graph instances and
+// serves concurrent read queries against them while updates stream in.
+//
+// # Shard routing
+//
+// A Service runs a fixed set of shards. Each shard owns one goroutine (the
+// update loop), one pram.Machine (worker pool + merged PRAM accounting for
+// everything that runs on the shard), and the maintainers of every graph
+// assigned to it. A graph ID is hashed (FNV-1a) to its shard at creation
+// and never moves, so all updates for one graph are serialized through one
+// mailbox — a buffered channel of tasks — without any per-graph locking.
+// Apply enqueues one update and returns a Future; ApplyBatch groups a
+// cross-graph batch by shard and enqueues one task per shard, so a round of
+// k updates costs each shard one mailbox receive instead of k.
+//
+// # Snapshot isolation
+//
+// Readers never touch a maintainer. After every applied update (or once per
+// graph per batch round) the shard loop publishes an immutable Snapshot —
+// the current DFS tree, a deep clone of the graph, and the update's cost
+// counters — through an atomic pointer. Tree, IsAncestor, Path, Verify and
+// Snapshot load that pointer and work on the frozen pair, so reads never
+// block the update loop, never observe a half-applied update, and remain
+// valid indefinitely (the maintainer runs with persistent trees, not the
+// in-place tree.Rebuild mode, precisely so published trees are never
+// clobbered by later updates).
+//
+// # Stats threading
+//
+// Snapshot isolation is only sound because D's query path is read-only:
+// every EdgeToWalk-family call threads a caller-supplied per-call
+// *dstruct.Stats accumulator through its shard/reduce internals instead of
+// mutating shared state on D. The engine rolls its accumulator into the
+// maintainer per update; the maintainer's running total is republished in
+// each Snapshot. Concurrent readers of one published structure therefore
+// need no synchronization at all.
+//
+// # Lifecycle
+//
+// Close drains: new submissions are rejected, every task already in a
+// mailbox is processed and its Future resolved, then the shard goroutines
+// exit. Reads keep working after Close (snapshots are retained).
+package service

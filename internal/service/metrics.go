@@ -1,0 +1,75 @@
+package service
+
+import "time"
+
+// ShardMetrics is one shard's operational counters, sampled at call time.
+type ShardMetrics struct {
+	Shard      int
+	Graphs     int
+	QueueDepth int // tasks waiting in the mailbox
+	QueueCap   int
+	Updates    uint64 // updates applied since start
+	Rejected   uint64 // updates the maintainer rejected
+	// UpdatesPerSec is the lifetime average rate of the shard's loop.
+	UpdatesPerSec float64
+	// OldestSnapshotAge is the age of the stalest published snapshot among
+	// the shard's graphs (0 when the shard has none): how far behind the
+	// slowest tenant's readers can be.
+	OldestSnapshotAge time.Duration
+	// PRAMDepth/PRAMWork are the machine's merged model costs across every
+	// maintainer on the shard.
+	PRAMDepth int64
+	PRAMWork  int64
+}
+
+// Metrics aggregates the per-shard samples.
+type Metrics struct {
+	Shards        []ShardMetrics
+	Graphs        int
+	Updates       uint64
+	Rejected      uint64
+	UpdatesPerSec float64
+}
+
+// Metrics samples every shard. It takes only read locks and never touches
+// the update loops.
+func (s *Service) Metrics() Metrics {
+	now := time.Now()
+	out := Metrics{Shards: make([]ShardMetrics, len(s.shards))}
+	for i, sh := range s.shards {
+		var oldest time.Duration
+		sh.mu.RLock()
+		graphs := len(sh.graphs)
+		for _, gs := range sh.graphs {
+			if snap := gs.snap.Load(); snap != nil {
+				if age := now.Sub(snap.PublishedAt); age > oldest {
+					oldest = age
+				}
+			}
+		}
+		sh.mu.RUnlock()
+		updates := sh.updates.Load()
+		elapsed := now.Sub(sh.started).Seconds()
+		rate := 0.0
+		if elapsed > 0 {
+			rate = float64(updates) / elapsed
+		}
+		out.Shards[i] = ShardMetrics{
+			Shard:             sh.idx,
+			Graphs:            graphs,
+			QueueDepth:        len(sh.mailbox),
+			QueueCap:          cap(sh.mailbox),
+			Updates:           updates,
+			Rejected:          sh.rejected.Load(),
+			UpdatesPerSec:     rate,
+			OldestSnapshotAge: oldest,
+			PRAMDepth:         sh.mach.Depth(),
+			PRAMWork:          sh.mach.Work(),
+		}
+		out.Graphs += graphs
+		out.Updates += updates
+		out.Rejected += out.Shards[i].Rejected
+		out.UpdatesPerSec += rate
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pram"
+	"repro/internal/tree"
+)
+
+// GraphID names one tenant graph. IDs hash to shards with FNV-1a.
+type GraphID string
+
+// Sentinel errors. Shard-loop errors wrap these with the graph ID.
+var (
+	ErrClosed      = errors.New("service closed")
+	ErrNoGraph     = errors.New("no such graph")
+	ErrGraphExists = errors.New("graph already exists")
+)
+
+// Config sizes a Service. The zero value selects the documented defaults.
+type Config struct {
+	// Shards is the number of update loops (each one goroutine plus one
+	// pram.Machine). Default: GOMAXPROCS.
+	Shards int
+	// MailboxDepth is the per-shard buffered-channel depth; submissions
+	// block (backpressure) when a mailbox is full. Default 256.
+	MailboxDepth int
+	// Workers is the worker-pool width of each shard's machine — the
+	// intra-query execution parallelism. With many shards on one host the
+	// shard loops themselves are the parallelism, so the default is 1.
+	Workers int
+	// Headroom is the vertex-ID headroom reserved per graph for vertex
+	// insertions. Default 64.
+	Headroom int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.MailboxDepth <= 0 {
+		c.MailboxDepth = 256
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Headroom <= 0 {
+		c.Headroom = 64
+	}
+	return c
+}
+
+// Service is a sharded, snapshot-isolated serving layer over many dynamic
+// DFS maintainers. See the package documentation for the model.
+type Service struct {
+	cfg    Config
+	shards []*shard
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// New starts a Service with cfg's shard count and mailbox depth.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range s.shards {
+		sh := &shard{
+			idx:     i,
+			mach:    pram.NewMachineWithWorkers(1, cfg.Workers),
+			mailbox: make(chan task, cfg.MailboxDepth),
+			graphs:  make(map[GraphID]*graphState),
+			started: time.Now(),
+		}
+		s.shards[i] = sh
+		s.wg.Add(1)
+		go sh.run(&s.wg, cfg.Headroom)
+	}
+	return s
+}
+
+// NumShards returns the configured shard count.
+func (s *Service) NumShards() int { return len(s.shards) }
+
+func (s *Service) shardFor(id GraphID) *shard {
+	// Inline FNV-1a: the hash.Hash32 route would heap-allocate on every
+	// lock-free read.
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return s.shards[int(h)%len(s.shards)]
+}
+
+// CreateGraph registers g under id on its shard and waits for the initial
+// snapshot (static DFS preprocessing runs on the shard loop). g is cloned;
+// the caller keeps ownership of its copy.
+func (s *Service) CreateGraph(id GraphID, g *graph.Graph) (*Snapshot, error) {
+	fut := newFuture()
+	if err := s.shardFor(id).submit(task{kind: taskCreate, id: id, g: g, fut: fut}); err != nil {
+		return nil, err
+	}
+	_, snap, err := fut.Wait()
+	return snap, err
+}
+
+// DropGraph removes id, waiting until the shard loop has retired it.
+// Snapshots already handed out stay valid.
+func (s *Service) DropGraph(id GraphID) error {
+	fut := newFuture()
+	if err := s.shardFor(id).submit(task{kind: taskDrop, id: id, fut: fut}); err != nil {
+		return err
+	}
+	_, _, err := fut.Wait()
+	return err
+}
+
+// Apply submits one update for id and returns a Future resolved by the
+// owning shard once the update (and its snapshot publication) completes.
+// Apply blocks only when the shard's mailbox is full.
+func (s *Service) Apply(id GraphID, u core.Update) (*Future, error) {
+	fut := newFuture()
+	if err := s.shardFor(id).submit(task{kind: taskApply, id: id, upd: u, fut: fut}); err != nil {
+		return nil, err
+	}
+	return fut, nil
+}
+
+// BatchItem is one update of a cross-graph batch.
+type BatchItem struct {
+	Graph  GraphID
+	Update core.Update
+}
+
+// ApplyBatch submits a batch of updates, coalescing them into one mailbox
+// round per shard: every shard receives a single task holding its items in
+// submission order, applies them back to back, and publishes each touched
+// graph's snapshot once at the end of the round. The returned futures are
+// in items order and are always resolved, even when ApplyBatch also
+// returns an error: if a shard rejects its sub-batch (service closing),
+// that shard's futures resolve with the error while other shards' items —
+// possibly already submitted — proceed normally, so a caller racing Close
+// can still observe exactly which items were applied.
+func (s *Service) ApplyBatch(items []BatchItem) ([]*Future, error) {
+	futs := make([]*Future, len(items))
+	perShard := make(map[*shard][]batchEntry, len(s.shards))
+	for i, it := range items {
+		futs[i] = newFuture()
+		sh := s.shardFor(it.Graph)
+		perShard[sh] = append(perShard[sh], batchEntry{id: it.Graph, upd: it.Update, fut: futs[i]})
+	}
+	var firstErr error
+	for sh, entries := range perShard {
+		if err := sh.submit(task{kind: taskBatch, entries: entries}); err != nil {
+			for _, en := range entries {
+				en.fut.resolve(-1, nil, err)
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return futs, firstErr
+}
+
+// Snapshot returns id's latest published snapshot. It never blocks on the
+// shard's update loop.
+func (s *Service) Snapshot(id GraphID) (*Snapshot, error) {
+	gs := s.shardFor(id).lookup(id)
+	if gs == nil {
+		return nil, fmt.Errorf("service: graph %q: %w", id, ErrNoGraph)
+	}
+	return gs.snap.Load(), nil
+}
+
+// Tree returns id's current DFS tree and pseudo root (snapshot read).
+func (s *Service) Tree(id GraphID) (*tree.Tree, int, error) {
+	snap, err := s.Snapshot(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	return snap.Tree, snap.PseudoRoot, nil
+}
+
+// IsAncestor answers an ancestry query against id's latest snapshot.
+func (s *Service) IsAncestor(id GraphID, a, v int) (bool, error) {
+	snap, err := s.Snapshot(id)
+	if err != nil {
+		return false, err
+	}
+	return snap.IsAncestor(a, v)
+}
+
+// Path returns the tree path from down up to ancestor up in id's latest
+// snapshot.
+func (s *Service) Path(id GraphID, down, up int) ([]int, error) {
+	snap, err := s.Snapshot(id)
+	if err != nil {
+		return nil, err
+	}
+	return snap.Path(down, up)
+}
+
+// Verify checks id's latest snapshot (tree is a DFS tree of the graph).
+func (s *Service) Verify(id GraphID) error {
+	snap, err := s.Snapshot(id)
+	if err != nil {
+		return err
+	}
+	return snap.Verify()
+}
+
+// Close drains and stops the service: new submissions fail with ErrClosed,
+// every already-enqueued task is processed and its Future resolved, and the
+// shard goroutines exit before Close returns. Reads remain available.
+func (s *Service) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return ErrClosed
+	}
+	for _, sh := range s.shards {
+		sh.submitMu.Lock()
+		sh.closed = true
+		close(sh.mailbox)
+		sh.submitMu.Unlock()
+	}
+	s.wg.Wait()
+	return nil
+}

@@ -1,0 +1,205 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pram"
+)
+
+type taskKind int
+
+const (
+	taskCreate taskKind = iota
+	taskDrop
+	taskApply
+	taskBatch
+)
+
+// task is one mailbox message. Exactly one of the payload fields is set,
+// per kind; fut is always non-nil for create/drop/apply, and batch entries
+// carry their own futures.
+type task struct {
+	kind    taskKind
+	id      GraphID
+	g       *graph.Graph // create: initial graph (cloned by the maintainer)
+	upd     core.Update  // apply
+	entries []batchEntry // batch
+	fut     *Future
+}
+
+type batchEntry struct {
+	id  GraphID
+	upd core.Update
+	fut *Future
+}
+
+// graphState is one tenant graph on a shard: the maintainer (touched only
+// by the shard goroutine) and the atomically published snapshot (read by
+// everyone).
+type graphState struct {
+	dd   *core.DynamicDFS
+	snap atomic.Pointer[Snapshot]
+}
+
+// shard owns a set of graphs, the goroutine that applies their updates, and
+// the pram.Machine whose worker pool and merged depth/work accounting all
+// of them share.
+type shard struct {
+	idx     int
+	mach    *pram.Machine
+	mailbox chan task
+
+	// submitMu serializes submissions against Close: senders hold the read
+	// lock, Close flips closed and closes the mailbox under the write lock,
+	// so no send can race the close.
+	submitMu sync.RWMutex
+	closed   bool
+
+	// mu guards the graphs map structure (the shard loop writes on
+	// create/drop; readers resolve IDs under the read lock).
+	mu     sync.RWMutex
+	graphs map[GraphID]*graphState
+
+	updates  atomic.Uint64 // successfully applied updates
+	rejected atomic.Uint64 // updates rejected by the maintainer
+	started  time.Time
+}
+
+// submit enqueues t unless the shard is closed. It blocks while the mailbox
+// is full (backpressure toward the producer).
+func (sh *shard) submit(t task) error {
+	sh.submitMu.RLock()
+	defer sh.submitMu.RUnlock()
+	if sh.closed {
+		return ErrClosed
+	}
+	sh.mailbox <- t
+	return nil
+}
+
+// run is the shard's update loop: it drains the mailbox until Close closes
+// it, applying every task in submission order.
+func (sh *shard) run(wg *sync.WaitGroup, headroom int) {
+	defer wg.Done()
+	for t := range sh.mailbox {
+		sh.handle(t, headroom)
+	}
+}
+
+func (sh *shard) lookup(id GraphID) *graphState {
+	sh.mu.RLock()
+	gs := sh.graphs[id]
+	sh.mu.RUnlock()
+	return gs
+}
+
+func (sh *shard) handle(t task, headroom int) {
+	switch t.kind {
+	case taskCreate:
+		if sh.lookup(t.id) != nil {
+			t.fut.resolve(-1, nil, fmt.Errorf("service: graph %q: %w", t.id, ErrGraphExists))
+			return
+		}
+		// Keep the shared machine's model processor budget at the paper's
+		// per-instance maximum (m processors) across tenants.
+		if p := 2*t.g.NumEdges() + t.g.NumVertexSlots() + 1; p > sh.mach.Procs() {
+			sh.mach.SetProcs(p)
+		}
+		gs := &graphState{dd: core.New(t.g, core.Options{
+			RebuildD: true,
+			Headroom: headroom,
+			Machine:  sh.mach,
+		})}
+		snap := sh.publish(t.id, gs)
+		sh.mu.Lock()
+		sh.graphs[t.id] = gs
+		sh.mu.Unlock()
+		t.fut.resolve(-1, snap, nil)
+
+	case taskDrop:
+		gs := sh.lookup(t.id)
+		if gs == nil {
+			t.fut.resolve(-1, nil, fmt.Errorf("service: graph %q: %w", t.id, ErrNoGraph))
+			return
+		}
+		sh.mu.Lock()
+		delete(sh.graphs, t.id)
+		sh.mu.Unlock()
+		t.fut.resolve(-1, gs.snap.Load(), nil)
+
+	case taskApply:
+		gs := sh.lookup(t.id)
+		if gs == nil {
+			t.fut.resolve(-1, nil, fmt.Errorf("service: graph %q: %w", t.id, ErrNoGraph))
+			return
+		}
+		v, err := gs.dd.Apply(t.upd)
+		if err != nil {
+			sh.rejected.Add(1)
+			t.fut.resolve(-1, gs.snap.Load(), err)
+			return
+		}
+		sh.updates.Add(1)
+		t.fut.resolve(v, sh.publish(t.id, gs), nil)
+
+	case taskBatch:
+		// One coalesced round: apply every entry in order, but publish each
+		// touched graph's snapshot once, at the end of the round. Futures
+		// resolve against that round-final snapshot (which includes their
+		// update — later entries of the same round may be included too).
+		type resolution struct {
+			fut    *Future
+			vertex int
+			gs     *graphState
+			err    error
+		}
+		resolutions := make([]resolution, 0, len(t.entries))
+		touched := make(map[GraphID]*graphState)
+		for _, en := range t.entries {
+			gs := sh.lookup(en.id)
+			if gs == nil {
+				en.fut.resolve(-1, nil, fmt.Errorf("service: graph %q: %w", en.id, ErrNoGraph))
+				continue
+			}
+			v, err := gs.dd.Apply(en.upd)
+			if err != nil {
+				sh.rejected.Add(1)
+			} else {
+				sh.updates.Add(1)
+				touched[en.id] = gs
+			}
+			resolutions = append(resolutions, resolution{fut: en.fut, vertex: v, gs: gs, err: err})
+		}
+		for id, gs := range touched {
+			sh.publish(id, gs)
+		}
+		for _, r := range resolutions {
+			r.fut.resolve(r.vertex, r.gs.snap.Load(), r.err)
+		}
+	}
+}
+
+// publish freezes gs's current state into a new immutable snapshot and
+// installs it. Only the shard goroutine calls publish, so the maintainer is
+// quiescent while the graph is cloned; the tree is persistent (ReuseTree
+// off) and shared zero-copy.
+func (sh *shard) publish(id GraphID, gs *graphState) *Snapshot {
+	dd := gs.dd
+	snap := &Snapshot{
+		ID:          id,
+		Version:     uint64(dd.Updates()),
+		Graph:       dd.Graph().Clone(),
+		Tree:        dd.Tree(),
+		PseudoRoot:  dd.PseudoRoot(),
+		LastStats:   dd.LastStats(),
+		QueryStats:  dd.QueryStats(),
+		PublishedAt: time.Now(),
+	}
+	gs.snap.Store(snap)
+	return snap
+}

@@ -85,9 +85,12 @@ func (o *oracle) note(words int) {
 	}
 }
 
-func (o *oracle) EdgeToWalk(sources, walk []int, fromEnd bool) (dstruct.Hit, bool) {
+func (o *oracle) EdgeToWalk(sources, walk []int, fromEnd bool, st *dstruct.Stats) (dstruct.Hit, bool) {
 	if len(sources) == 0 || len(walk) == 0 {
 		return dstruct.Hit{}, false
+	}
+	if st != nil {
+		st.WalkQueries++
 	}
 	src := make(map[int]bool, len(sources))
 	for _, v := range sources {
@@ -124,9 +127,12 @@ func (o *oracle) EdgeToWalk(sources, walk []int, fromEnd bool) (dstruct.Hit, boo
 	return best, found
 }
 
-func (o *oracle) EdgeToWalkBySource(sources, walk []int, fromEnd bool) (dstruct.Hit, bool) {
+func (o *oracle) EdgeToWalkBySource(sources, walk []int, fromEnd bool, st *dstruct.Stats) (dstruct.Hit, bool) {
 	if len(sources) == 0 || len(walk) == 0 {
 		return dstruct.Hit{}, false
+	}
+	if st != nil {
+		st.WalkQueries++
 	}
 	order := make(map[int]int, len(sources))
 	for i, v := range sources {
@@ -166,8 +172,8 @@ func (o *oracle) EdgeToWalkBySource(sources, walk []int, fromEnd bool) (dstruct.
 	return best, bestOrder < len(sources)
 }
 
-func (o *oracle) HasEdgeToWalk(sources, walk []int) bool {
-	_, ok := o.EdgeToWalk(sources, walk, true)
+func (o *oracle) HasEdgeToWalk(sources, walk []int, st *dstruct.Stats) bool {
+	_, ok := o.EdgeToWalk(sources, walk, true, st)
 	return ok
 }
 
@@ -175,13 +181,13 @@ func (o *oracle) HasEdgeToWalk(sources, walk []int) bool {
 // eager — each query costs one physical pass — while the synchronous
 // schedule would answer the whole batch with a single shared pass; that
 // coalesced count is what Stats.Batches / ScheduledPasses report.
-func (o *oracle) EdgeToWalkBatch(qs []dstruct.WalkQuery) []dstruct.WalkAnswer {
+func (o *oracle) EdgeToWalkBatch(qs []dstruct.WalkQuery, st *dstruct.Stats) []dstruct.WalkAnswer {
 	out := make([]dstruct.WalkAnswer, len(qs))
 	for i, q := range qs {
 		if q.BySource {
-			out[i].Hit, out[i].OK = o.EdgeToWalkBySource(q.Sources, q.Walk, q.FromEnd)
+			out[i].Hit, out[i].OK = o.EdgeToWalkBySource(q.Sources, q.Walk, q.FromEnd, st)
 		} else {
-			out[i].Hit, out[i].OK = o.EdgeToWalk(q.Sources, q.Walk, q.FromEnd)
+			out[i].Hit, out[i].OK = o.EdgeToWalk(q.Sources, q.Walk, q.FromEnd, st)
 		}
 	}
 	return out
@@ -200,6 +206,7 @@ type Maintainer struct {
 	lastPasses    int64
 	lastScheduled int
 	lastStats     reroot.Stats
+	scratch       reroot.Scratch
 }
 
 // New builds the maintainer: the preprocessing DFS tree is computed from
@@ -306,7 +313,7 @@ func (m *Maintainer) ResidentWords() int {
 }
 
 func (m *Maintainer) engine() *reroot.Engine {
-	return reroot.New(m.t, m.l, m.o, pram.NewMachine(m.t.Live()))
+	return reroot.NewWithScratch(m.t, m.l, m.o, pram.NewMachine(m.t.Live()), &m.scratch)
 }
 
 func (m *Maintainer) finish(e *reroot.Engine, passesBefore int64) error {
@@ -349,7 +356,7 @@ func (m *Maintainer) Snapshot() *graph.Graph {
 func (m *Maintainer) lowestEdgeToPath(sub, low, high int) (int, int, bool) {
 	walk := m.t.PathUp(low, high)
 	src := m.t.SubtreeVertices(sub, nil)
-	hit, ok := m.o.EdgeToWalk(src, walk, false)
+	hit, ok := m.o.EdgeToWalk(src, walk, false, nil)
 	if !ok {
 		return 0, 0, false
 	}

@@ -3,8 +3,11 @@
 // and subtree sizes (the functionality of Tarjan–Vishkin, Theorem 4 of the
 // paper), plus path and ancestry helpers.
 //
-// A Tree is immutable after Build; the dynamic algorithms build a fresh Tree
-// for each updated DFS tree (the paper's T*_i).
+// A Tree is immutable after Build as far as readers are concerned; the
+// dynamic algorithms either build a fresh Tree for each updated DFS tree
+// (the paper's T*_i) or, when the owner knows no reader retains the old
+// tree, renumber one in place with Rebuild to keep the per-update hot path
+// allocation-free.
 package tree
 
 import "fmt"
@@ -34,32 +37,56 @@ type Tree struct {
 // Build constructs a Tree from a parent array. parent[root] must be None.
 // present[v]==false marks holes; present may be nil meaning all present.
 func Build(root int, parent []int, present []bool) (*Tree, error) {
+	t := &Tree{}
+	if err := t.Rebuild(root, parent, present); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Rebuild reconstructs t in place from a parent array, reusing every buffer
+// (parent, presence, children rows, and the pre/post/out/level/size
+// numbering arrays) that still has capacity. The fully dynamic maintainer
+// rebuilds its tree after every update; Rebuild keeps that hot path
+// allocation-light, mirroring the in-place rebuilds of D and the LCA index.
+//
+// Rebuild must only be used when the owner knows no reader retains the old
+// tree (the serving layer publishes persistent per-update trees instead).
+// On error the tree is left in an unspecified state and must not be queried.
+func (t *Tree) Rebuild(root int, parent []int, present []bool) error {
 	n := len(parent)
-	t := &Tree{
-		Root:     root,
-		Parent:   append([]int(nil), parent...),
-		present:  make([]bool, n),
-		children: make([][]int, n),
-		post:     make([]int, n),
-		pre:      make([]int, n),
-		out:      make([]int, n),
-		level:    make([]int, n),
-		size:     make([]int, n),
+	t.Root = root
+	t.Parent = append(t.Parent[:0], parent...)
+	t.present = resizeBools(t.present, n)
+	t.post = resizeInts(t.post, n)
+	t.pre = resizeInts(t.pre, n)
+	t.out = resizeInts(t.out, n)
+	t.level = resizeInts(t.level, n)
+	t.size = resizeInts(t.size, n)
+	if cap(t.children) >= n {
+		t.children = t.children[:n]
+	} else {
+		old := t.children
+		t.children = make([][]int, n)
+		copy(t.children, old)
 	}
 	for v := 0; v < n; v++ {
+		t.children[v] = t.children[v][:0]
 		t.present[v] = present == nil || present[v]
 		t.post[v], t.pre[v], t.out[v], t.level[v] = -1, -1, -1, -1
+		t.size[v] = 0 // Build-equivalent: holes report Size 0, not a stale value
 	}
+	t.live = 0
 	if root < 0 || root >= n || !t.present[root] {
-		return nil, fmt.Errorf("tree: invalid root %d", root)
+		return fmt.Errorf("tree: invalid root %d", root)
 	}
 	if parent[root] != None {
-		return nil, fmt.Errorf("tree: root %d has parent %d", root, parent[root])
+		return fmt.Errorf("tree: root %d has parent %d", root, parent[root])
 	}
 	for v := 0; v < n; v++ {
 		if !t.present[v] {
 			if parent[v] != None {
-				return nil, fmt.Errorf("tree: hole %d has parent", v)
+				return fmt.Errorf("tree: hole %d has parent", v)
 			}
 			continue
 		}
@@ -69,14 +96,25 @@ func Build(root int, parent []int, present []bool) (*Tree, error) {
 			continue
 		}
 		if p < 0 || p >= n || !t.present[p] {
-			return nil, fmt.Errorf("tree: vertex %d has invalid parent %d", v, p)
+			return fmt.Errorf("tree: vertex %d has invalid parent %d", v, p)
 		}
 		t.children[p] = append(t.children[p], v)
 	}
-	if err := t.number(); err != nil {
-		return nil, err
+	return t.number()
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
 	}
-	return t, nil
+	return make([]int, n)
+}
+
+func resizeBools(s []bool, n int) []bool {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]bool, n)
 }
 
 // MustBuild is Build that panics on error.
@@ -86,6 +124,13 @@ func MustBuild(root int, parent []int, present []bool) *Tree {
 		panic(err)
 	}
 	return t
+}
+
+// MustRebuild is Rebuild that panics on error.
+func (t *Tree) MustRebuild(root int, parent []int, present []bool) {
+	if err := t.Rebuild(root, parent, present); err != nil {
+		panic(err)
+	}
 }
 
 // number runs one iterative DFS from the root assigning pre/post/out/level/
