@@ -375,7 +375,11 @@ func BenchmarkUpdateExec(b *testing.B) {
 // each shard is an independent update loop (reads are lock-free snapshot
 // loads at any shard count). Conflicted updates (two submitters racing the
 // same edge from stale snapshots) still cost a full mailbox round trip, so
-// they are measured, not skipped.
+// they are measured, not skipped. Snapshot publication is O(1) — the
+// persistent graph and tree are shared zero-copy — so the write-path cost
+// here is the maintainer's update work itself, not cloning;
+// internal/service.BenchmarkPublish isolates the publication step and
+// pins it flat across graph sizes.
 
 func BenchmarkServiceThroughput(b *testing.B) {
 	shardCounts := []int{1}

@@ -79,7 +79,7 @@ func main() {
 					return
 				}
 				mine = append(mine, ids[i])
-				mirrors[ids[i]] = snap.Graph.Clone()
+				mirrors[ids[i]] = snap.Graph.Mutable()
 			}
 			if len(mine) == 0 {
 				return

@@ -37,11 +37,13 @@
 // shard.
 //
 // Reads are snapshot-isolated: after every update the shard publishes an
-// immutable GraphSnapshot (persistent DFS tree + deep graph clone + cost
-// counters) through an atomic pointer, and Tree / IsAncestor / Path /
-// Verify answer from the latest snapshot without ever blocking the update
-// loop or observing a half-applied update. A snapshot, once obtained,
-// stays valid indefinitely. This is sound because D's query path is
+// immutable GraphSnapshot (persistent DFS tree + persistent copy-on-write
+// graph version + cost counters) through an atomic pointer, and Tree /
+// IsAncestor / Path / Verify answer from the latest snapshot without ever
+// blocking the update loop or observing a half-applied update. Publication
+// is O(1) — both structures are shared with the maintainer zero-copy — and
+// a snapshot, once obtained, stays valid indefinitely. This is sound
+// because updates path-copy away from published state and D's query path is
 // read-only — search-effort counters go to per-call QueryStats
 // accumulators, not shared state — so published structures need no reader
 // synchronization.
@@ -65,6 +67,18 @@ import (
 
 // Graph is a mutable simple undirected graph with stable vertex IDs.
 type Graph = graph.Graph
+
+// PersistentGraph is an immutable copy-on-write graph: every update applied
+// by a Maintainer produces a new version sharing all untouched adjacency
+// rows with its predecessor. Maintainer.Graph, GraphSnapshot.Graph and
+// FaultTolerantResult.Graph expose this type; it is safe to read
+// concurrently and to retain across any number of later updates.
+type PersistentGraph = graph.Persistent
+
+// Adjacency is the read-only view shared by Graph and PersistentGraph; the
+// library's read-side helpers (Verify, StaticDFS, workload pickers) accept
+// either representation through it.
+type Adjacency = graph.Adjacency
 
 // Edge is an undirected edge.
 type Edge = graph.Edge
@@ -178,11 +192,11 @@ func NewDistributed(g *Graph, b int) *Distributed { return distributed.New(g, b)
 
 // StaticDFS computes a DFS tree of g with the classical O(m+n) algorithm
 // under the pseudo-root convention (root ID = g.NumVertexSlots()).
-func StaticDFS(g *Graph) *Tree { return baseline.StaticDFS(g) }
+func StaticDFS(g Adjacency) *Tree { return baseline.StaticDFS(g) }
 
 // Verify checks that t is a DFS tree of g under the pseudo-root convention
 // used by the maintainers: nil means valid.
-func Verify(g *Graph, t *Tree, pseudoRoot int) error {
+func Verify(g Adjacency, t *Tree, pseudoRoot int) error {
 	return verify.DFSForest(g, t, pseudoRoot)
 }
 
@@ -193,6 +207,6 @@ type Biconnectivity = bicon.Analysis
 
 // AnalyzeBiconnectivity computes articulation points, bridges and
 // biconnected components of g from its DFS tree t.
-func AnalyzeBiconnectivity(g *Graph, t *Tree, pseudoRoot int) *Biconnectivity {
+func AnalyzeBiconnectivity(g Adjacency, t *Tree, pseudoRoot int) *Biconnectivity {
 	return bicon.Analyze(g, t, pseudoRoot, nil)
 }

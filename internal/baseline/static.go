@@ -16,7 +16,7 @@ import (
 // graphs yield a single tree whose root children are component roots.
 // Neighbors are visited in increasing vertex order, making the result
 // deterministic. Runs in O(m+n).
-func StaticDFS(g *graph.Graph) *tree.Tree {
+func StaticDFS(g graph.Adjacency) *tree.Tree {
 	n := g.NumVertexSlots()
 	root := n
 	parent := make([]int, n+1)
@@ -69,7 +69,7 @@ func StaticDFS(g *graph.Graph) *tree.Tree {
 // StaticDFSFrom computes a DFS tree of the connected component of start,
 // rooted at start, with no pseudo-root. Vertices outside the component are
 // holes in the returned tree.
-func StaticDFSFrom(g *graph.Graph, start int) *tree.Tree {
+func StaticDFSFrom(g graph.Adjacency, start int) *tree.Tree {
 	n := g.NumVertexSlots()
 	parent := make([]int, n)
 	present := make([]bool, n)

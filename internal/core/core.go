@@ -82,7 +82,7 @@ type Options struct {
 
 // DynamicDFS maintains a DFS tree of a dynamic undirected graph.
 type DynamicDFS struct {
-	g      *graph.Graph
+	g      *graph.Persistent
 	t      *tree.Tree
 	l      *lca.Index
 	d      *dstruct.D
@@ -100,8 +100,8 @@ type DynamicDFS struct {
 	scratch reroot.Scratch
 }
 
-// New builds the maintainer over a clone of g: computes the initial DFS
-// tree (static preprocessing) and the data structure D.
+// New builds the maintainer over a private persistent copy of g: computes
+// the initial DFS tree (static preprocessing) and the data structure D.
 func New(g *graph.Graph, opt Options) *DynamicDFS {
 	if opt.Headroom <= 0 {
 		opt.Headroom = 64
@@ -111,7 +111,7 @@ func New(g *graph.Graph, opt Options) *DynamicDFS {
 		m = pram.NewMachine(2*g.NumEdges() + g.NumVertexSlots() + 1)
 	}
 	dd := &DynamicDFS{
-		g:          g.Clone(),
+		g:          graph.PersistentOf(g),
 		m:          m,
 		rebuildD:   opt.RebuildD,
 		headroom:   opt.Headroom,
@@ -139,10 +139,11 @@ func NewFullyDynamic(g *graph.Graph) *DynamicDFS {
 
 // NewFromState assembles a maintainer over pre-built state without copying:
 // the fault-tolerant algorithm uses this to run an update batch against a
-// shared original D while the tree evolves. The caller owns resetting d's
-// patches afterwards. t must be g's DFS tree rooted at pseudo, and d built
-// on a tree whose queries remain valid for t (Theorem 9).
-func NewFromState(g *graph.Graph, t *tree.Tree, d *dstruct.D, pseudo int, m *pram.Machine) *DynamicDFS {
+// shared original D while the tree evolves. g is a persistent version the
+// caller may keep sharing — the session never mutates it, it only advances
+// its own pointer past it. t must be g's DFS tree rooted at pseudo, and d
+// built on a tree whose queries remain valid for t (Theorem 9).
+func NewFromState(g *graph.Persistent, t *tree.Tree, d *dstruct.D, pseudo int, m *pram.Machine) *DynamicDFS {
 	if m == nil {
 		m = pram.NewMachine(t.Live())
 	}
@@ -158,8 +159,16 @@ func NewFromState(g *graph.Graph, t *tree.Tree, d *dstruct.D, pseudo int, m *pra
 	}
 }
 
-// Graph returns the maintained graph (callers must not mutate it).
-func (dd *DynamicDFS) Graph() *graph.Graph { return dd.g }
+// Graph returns the current version of the maintained graph (identical to
+// Frozen; this is the read accessor, Frozen the publication API).
+func (dd *DynamicDFS) Graph() *graph.Persistent { return dd.Frozen() }
+
+// Frozen returns the current graph version for publication: because the
+// maintainer mutates through the persistent structure, freezing is a
+// pointer grab — O(1) regardless of n and m — and the result is immutable,
+// so callers may read it concurrently with later updates and retain it
+// (still verifiable against this update's tree) forever.
+func (dd *DynamicDFS) Frozen() *graph.Persistent { return dd.g }
 
 // Tree returns the current DFS tree, rooted at the pseudo root; each child
 // subtree of the root is a DFS tree of one connected component.

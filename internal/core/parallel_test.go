@@ -39,7 +39,7 @@ func TestParallelExecutionMatchesSerial(t *testing.T) {
 	}
 	sameTrees("initial")
 
-	mirror := par.Graph().Clone()
+	mirror := par.Graph().Mutable()
 	for step := 0; step < 60; step++ {
 		var kind string
 		switch rng.Intn(3) {

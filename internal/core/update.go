@@ -28,9 +28,11 @@ func (dd *DynamicDFS) Apply(u Update) (int, error) {
 // subtree of w containing v is rerooted at v and hung from u. The case
 // w = pseudo root covers merging two components.
 func (dd *DynamicDFS) InsertEdge(u, v int) error {
-	if err := dd.g.InsertEdge(u, v); err != nil {
+	ng, err := dd.g.InsertEdge(u, v)
+	if err != nil {
 		return err
 	}
+	dd.g = ng
 	dd.d.PatchInsertEdge(u, v)
 	w := dd.l.LCA(u, v)
 	if w == u || w == v {
@@ -53,9 +55,11 @@ func (dd *DynamicDFS) InsertEdge(u, v int) error {
 // component), or hangs T(v) under the pseudo root if the component split.
 func (dd *DynamicDFS) DeleteEdge(u, v int) error {
 	isTree := dd.t.Parent[v] == u || dd.t.Parent[u] == v
-	if err := dd.g.DeleteEdge(u, v); err != nil {
+	ng, err := dd.g.DeleteEdge(u, v)
+	if err != nil {
 		return err
 	}
+	dd.g = ng
 	dd.d.PatchDeleteEdge(u, v)
 	if !isTree {
 		dd.lastStats = reroot.Stats{}
@@ -86,9 +90,11 @@ func (dd *DynamicDFS) DeleteVertex(u int) error {
 		return fmt.Errorf("core: delete of non-vertex %d", u)
 	}
 	neighbors := dd.g.SortedNeighbors(u)
-	if err := dd.g.DeleteVertex(u); err != nil {
+	ng, err := dd.g.DeleteVertex(u)
+	if err != nil {
 		return err
 	}
+	dd.g = ng
 	dd.d.PatchDeleteVertex(u, neighbors)
 	pu := dd.t.Parent[u]
 	children := dd.t.Children(u)
@@ -132,10 +138,11 @@ func (dd *DynamicDFS) InsertVertex(neighbors []int) (int, error) {
 		}
 		dd.relocatePseudo()
 	}
-	u, err := dd.g.InsertVertex(neighbors)
+	ng, u, err := dd.g.InsertVertex(neighbors)
 	if err != nil {
 		return -1, err
 	}
+	dd.g = ng
 	dd.d.PatchInsertVertex(u, neighbors)
 	e := dd.engine()
 	if len(neighbors) == 0 {

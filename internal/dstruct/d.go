@@ -85,7 +85,7 @@ const buildParallelCutoff = 2048
 // the paper's preprocessing cost (Theorem 8: O(log n) depth on m
 // processors; per-vertex parallel merge sort of N(v)). mach may be nil, in
 // which case construction and all queries run serially.
-func Build(g *graph.Graph, t *tree.Tree, mach *pram.Machine) *D {
+func Build(g graph.Adjacency, t *tree.Tree, mach *pram.Machine) *D {
 	d := &D{
 		inserted:   make(map[int][]int),
 		deletedE:   make(map[graph.Edge]struct{}),
@@ -99,7 +99,7 @@ func Build(g *graph.Graph, t *tree.Tree, mach *pram.Machine) *D {
 // reusing the existing neighbor rows and LCA buffers. The fully dynamic
 // maintainer rebuilds D after every update; Rebuild keeps that hot path
 // allocation-light. Queries answered before Rebuild returns are invalid.
-func (d *D) Rebuild(g *graph.Graph, t *tree.Tree, mach *pram.Machine) {
+func (d *D) Rebuild(g graph.Adjacency, t *tree.Tree, mach *pram.Machine) {
 	clear(d.inserted)
 	clear(d.deletedE)
 	clear(d.patchVerts)
@@ -107,7 +107,7 @@ func (d *D) Rebuild(g *graph.Graph, t *tree.Tree, mach *pram.Machine) {
 	d.build(g, t, mach)
 }
 
-func (d *D) build(g *graph.Graph, t *tree.Tree, mach *pram.Machine) {
+func (d *D) build(g graph.Adjacency, t *tree.Tree, mach *pram.Machine) {
 	n := t.N()
 	d.T = t
 	d.mach = mach

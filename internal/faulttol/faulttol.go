@@ -23,8 +23,8 @@ import (
 
 // FaultTolerant is the preprocessed structure.
 type FaultTolerant struct {
-	g0     *graph.Graph
-	dd0    *core.DynamicDFS // holds T0 and D; never mutated after preprocessing
+	g0     *graph.Persistent // immutable; shared with every session zero-copy
+	dd0    *core.DynamicDFS  // holds T0 and D; never mutated after preprocessing
 	m      *pram.Machine
 	maxUpd int
 }
@@ -33,8 +33,8 @@ type FaultTolerant struct {
 type Result struct {
 	Tree       *tree.Tree // DFS tree of the updated graph (pseudo-rooted)
 	PseudoRoot int
-	Graph      *graph.Graph // the updated graph (scratch copy)
-	Stats      reroot.Stats // aggregated over the batch
+	Graph      *graph.Persistent // the updated graph (immutable version)
+	Stats      reroot.Stats      // aggregated over the batch
 	// Fragments is the total number of base-tree fragments walk queries
 	// decomposed into during the batch (the paper's O(log^{2(i-1)} n) per
 	// query); FragQueries is the number of walk queries.
@@ -79,7 +79,10 @@ func (ft *FaultTolerant) Apply(updates []core.Update) (*Result, error) {
 	d := ft.dd0.D()
 	defer d.ResetPatches()
 
-	session := core.NewFromState(ft.g0.Clone(), ft.dd0.Tree(), d, ft.dd0.PseudoRoot(), ft.m)
+	// The persistent graph makes the session start free: it shares g0
+	// zero-copy and path-copies only what its updates touch, so a batch no
+	// longer pays an O(n+m) clone before its first update.
+	session := core.NewFromState(ft.g0, ft.dd0.Tree(), d, ft.dd0.PseudoRoot(), ft.m)
 	res := &Result{PseudoRoot: ft.dd0.PseudoRoot()}
 	for i, u := range updates {
 		if _, err := session.Apply(u); err != nil {

@@ -215,7 +215,7 @@ func Caterpillar(spine, legs int) *Graph {
 
 // RandomEdgeNotIn returns a uniformly random non-edge (u,v) between live
 // vertices, or ok=false if the live part of the graph is complete.
-func RandomEdgeNotIn(g *Graph, rng *rand.Rand) (Edge, bool) {
+func RandomEdgeNotIn(g Adjacency, rng *rand.Rand) (Edge, bool) {
 	n := g.NumVertexSlots()
 	live := make([]int, 0, g.NumVertices())
 	for v := 0; v < n; v++ {
@@ -239,7 +239,7 @@ func RandomEdgeNotIn(g *Graph, rng *rand.Rand) (Edge, bool) {
 
 // RandomExistingEdge returns a uniformly random edge of g, or ok=false if
 // the graph has no edges. O(m) per call; intended for test workloads.
-func RandomExistingEdge(g *Graph, rng *rand.Rand) (Edge, bool) {
+func RandomExistingEdge(g Adjacency, rng *rand.Rand) (Edge, bool) {
 	if g.NumEdges() == 0 {
 		return Edge{}, false
 	}

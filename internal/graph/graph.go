@@ -1,8 +1,18 @@
 // Package graph provides the undirected dynamic graph substrate used by the
-// dynamic-DFS algorithms: a mutable adjacency representation supporting the
-// paper's extended update model (edge insert/delete, vertex insert with an
-// arbitrary edge set, vertex delete), plus immutable CSR snapshots and a
-// collection of workload generators.
+// dynamic-DFS algorithms. Two representations support the paper's extended
+// update model (edge insert/delete, vertex insert with an arbitrary edge
+// set, vertex delete):
+//
+//   - Graph, a mutable map-based adjacency for single-owner drivers and the
+//     workload generators;
+//   - Persistent, an immutable path-copying adjacency whose mutations return
+//     a new version sharing all untouched rows with its predecessor, so a
+//     version can be published to concurrent readers in O(1) and retained
+//     forever (the serving layer's snapshot substrate).
+//
+// Both satisfy the read-only Adjacency interface consumed by verification,
+// D construction, and the static baselines; CSR is the flat immutable
+// snapshot layout the PRAM-style routines iterate over.
 //
 // Vertices are dense integers 0..n-1. A deleted vertex leaves a hole: its ID
 // stays allocated but IsVertex reports false and it has no incident edges.

@@ -1,0 +1,200 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// applyRandomUpdate makes the same random update to the mutable mirror and
+// the persistent graph, returning the new persistent version (or p itself
+// when the picked update was a no-op for both).
+func applyRandomUpdate(t *testing.T, p *Persistent, mirror *Graph, rng *rand.Rand) *Persistent {
+	t.Helper()
+	switch rng.Intn(4) {
+	case 0:
+		if e, ok := RandomEdgeNotIn(mirror, rng); ok {
+			if err := mirror.InsertEdge(e.U, e.V); err != nil {
+				t.Fatal(err)
+			}
+			np, err := p.InsertEdge(e.U, e.V)
+			if err != nil {
+				t.Fatalf("persistent InsertEdge%v: %v", e, err)
+			}
+			return np
+		}
+	case 1:
+		if e, ok := RandomExistingEdge(mirror, rng); ok {
+			if err := mirror.DeleteEdge(e.U, e.V); err != nil {
+				t.Fatal(err)
+			}
+			np, err := p.DeleteEdge(e.U, e.V)
+			if err != nil {
+				t.Fatalf("persistent DeleteEdge%v: %v", e, err)
+			}
+			return np
+		}
+	case 2:
+		var nbrs []int
+		for v := 0; v < mirror.NumVertexSlots(); v++ {
+			if mirror.IsVertex(v) && rng.Float64() < 0.2 {
+				nbrs = append(nbrs, v)
+			}
+		}
+		mv, err := mirror.InsertVertex(nbrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		np, pv, err := p.InsertVertex(nbrs)
+		if err != nil {
+			t.Fatalf("persistent InsertVertex(%v): %v", nbrs, err)
+		}
+		if pv != mv {
+			t.Fatalf("InsertVertex ID: persistent %d, mutable %d", pv, mv)
+		}
+		return np
+	case 3:
+		if mirror.NumVertices() > 2 {
+			v := rng.Intn(mirror.NumVertexSlots())
+			if mirror.IsVertex(v) {
+				if err := mirror.DeleteVertex(v); err != nil {
+					t.Fatal(err)
+				}
+				np, err := p.DeleteVertex(v)
+				if err != nil {
+					t.Fatalf("persistent DeleteVertex(%d): %v", v, err)
+				}
+				return np
+			}
+		}
+	}
+	return p
+}
+
+// assertSame checks every read-API answer of p against the mutable mirror.
+func assertSame(t *testing.T, p *Persistent, mirror *Graph, ctx string) {
+	t.Helper()
+	if p.NumVertexSlots() != mirror.NumVertexSlots() ||
+		p.NumVertices() != mirror.NumVertices() ||
+		p.NumEdges() != mirror.NumEdges() {
+		t.Fatalf("%s: sizes: persistent (%d,%d,%d) vs mutable (%d,%d,%d)", ctx,
+			p.NumVertexSlots(), p.NumVertices(), p.NumEdges(),
+			mirror.NumVertexSlots(), mirror.NumVertices(), mirror.NumEdges())
+	}
+	for v := 0; v < mirror.NumVertexSlots(); v++ {
+		if p.IsVertex(v) != mirror.IsVertex(v) {
+			t.Fatalf("%s: IsVertex(%d): %v vs %v", ctx, v, p.IsVertex(v), mirror.IsVertex(v))
+		}
+		if p.Degree(v) != mirror.Degree(v) {
+			t.Fatalf("%s: Degree(%d): %d vs %d", ctx, v, p.Degree(v), mirror.Degree(v))
+		}
+		if !reflect.DeepEqual(p.SortedNeighbors(v), mirror.SortedNeighbors(v)) {
+			t.Fatalf("%s: SortedNeighbors(%d): %v vs %v", ctx, v,
+				p.SortedNeighbors(v), mirror.SortedNeighbors(v))
+		}
+	}
+	if !reflect.DeepEqual(p.Edges(), mirror.Edges()) {
+		t.Fatalf("%s: edge sets differ", ctx)
+	}
+	pc, mc := p.Snapshot(), mirror.Snapshot()
+	if !reflect.DeepEqual(pc.Off, mc.Off) || !reflect.DeepEqual(pc.Dst, mc.Dst) ||
+		pc.N != mc.N || pc.M != mc.M {
+		t.Fatalf("%s: CSR snapshots differ", ctx)
+	}
+	pl, pk := p.ConnectedComponents()
+	ml, mk := mirror.ConnectedComponents()
+	if pk != mk || !reflect.DeepEqual(pl, ml) {
+		t.Fatalf("%s: components differ: %d vs %d", ctx, pk, mk)
+	}
+}
+
+// TestPersistentMatchesMutable drives persistent and mutable graphs through
+// identical random update sequences (all four kinds) and demands identical
+// read-API answers, error behaviour included, after every step.
+func TestPersistentMatchesMutable(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for trial := 0; trial < 12; trial++ {
+		n := 5 + rng.Intn(140) // spans the 64-vertex chunk boundary
+		mirror := Gnp(n, 2.5/float64(n), rng)
+		p := PersistentOf(mirror)
+		assertSame(t, p, mirror, "initial")
+		for step := 0; step < 40; step++ {
+			p = applyRandomUpdate(t, p, mirror, rng)
+			assertSame(t, p, mirror, "step")
+		}
+		// Error parity on a few rejected updates.
+		if _, err := p.InsertEdge(0, 0); err == nil {
+			t.Fatal("self loop accepted")
+		}
+		if _, err := p.DeleteEdge(-1, 3); err == nil {
+			t.Fatal("bogus delete accepted")
+		}
+		if _, _, err := p.InsertVertex([]int{1, 1}); err == nil && mirror.IsVertex(1) {
+			t.Fatal("duplicate neighbor accepted")
+		}
+		if _, err := p.DeleteVertex(p.NumVertexSlots() + 5); err == nil {
+			t.Fatal("delete of non-vertex accepted")
+		}
+		// Mutable() round-trips the final state.
+		assertSame(t, p, p.Mutable(), "mutable-roundtrip")
+	}
+}
+
+// TestPersistentVersionRetention holds every produced version live across
+// the whole update sequence and re-checks old versions against edge lists
+// captured at their creation — path copying must never write into a
+// published version. Run under -race, concurrent readers scan old versions
+// while the writer goroutine keeps deriving new ones.
+func TestPersistentVersionRetention(t *testing.T) {
+	rng := rand.New(rand.NewSource(419))
+	n := 96
+	mirror := GnpConnected(n, 3.0/float64(n), rng)
+	p := PersistentOf(mirror)
+
+	type epoch struct {
+		p     *Persistent
+		edges []Edge
+	}
+	history := []epoch{{p, p.Edges()}}
+
+	const steps = 300
+	versions := make(chan *Persistent, steps)
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rd := rand.New(rand.NewSource(int64(500 + r)))
+			var held []*Persistent
+			for v := range versions {
+				held = append(held, v)
+				// Re-read a random retained version while the writer mutates.
+				old := held[rd.Intn(len(held))]
+				deg := 0
+				for u := 0; u < old.NumVertexSlots(); u++ {
+					deg += old.Degree(u)
+				}
+				if deg != 2*old.NumEdges() {
+					t.Errorf("reader %d: degree sum %d != 2m %d", r, deg, 2*old.NumEdges())
+					return
+				}
+			}
+		}(r)
+	}
+	for step := 0; step < steps; step++ {
+		p = applyRandomUpdate(t, p, mirror, rng)
+		history = append(history, epoch{p, p.Edges()})
+		versions <- p
+	}
+	close(versions)
+	wg.Wait()
+
+	for i, ep := range history {
+		if got := ep.p.Edges(); !reflect.DeepEqual(got, ep.edges) {
+			t.Fatalf("version %d changed after later updates: %d edges now, %d at creation",
+				i, len(got), len(ep.edges))
+		}
+	}
+	assertSame(t, p, mirror, "final")
+}

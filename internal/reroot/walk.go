@@ -310,6 +310,11 @@ func (e *Engine) processComp(c *Comp, walk []int, remaining []Piece) ([]*Comp, e
 		rootQs = append(rootQs, dstruct.WalkQuery{Sources: src, Walk: walk, FromEnd: true})
 	}
 	rootAns := e.D.EdgeToWalkBatch(rootQs, &e.QStats)
+	// Charge before the children inherit c.Batches: the root-location batch
+	// gates every child's traversal, so it sits on each child's chain.
+	if rootQueried > 0 {
+		e.chargeBatch(c, rootQueried)
+	}
 	for gi, r := range order {
 		g := groups[r]
 		hit, ok := rootAns[gi].Hit, rootAns[gi].OK
@@ -323,9 +328,6 @@ func (e *Engine) processComp(c *Comp, walk []int, remaining []Piece) ([]*Comp, e
 			Depth:        c.Depth + 1,
 			Batches:      c.Batches,
 		})
-	}
-	if rootQueried > 0 {
-		e.chargeBatch(c, rootQueried)
 	}
 	for _, k := range kids {
 		if k.Depth > e.Stats.Rounds {

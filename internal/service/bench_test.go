@@ -1,0 +1,38 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pram"
+)
+
+// BenchmarkPublish isolates the snapshot-publication step of the shard
+// update loop — the work between "the maintainer finished an update" and
+// "readers can see it". With the persistent adjacency structure this is a
+// pointer grab plus one small Snapshot struct, so ns/op and allocs/op must
+// stay flat as n (and m) grow by two orders of magnitude; any per-edge or
+// per-vertex work re-introduced into the publish path shows up here as
+// linear growth. Run by the CI bench-smoke step with -benchtime=1x.
+func BenchmarkPublish(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(n)))
+			g := graph.GnpConnected(n, 4.0/float64(n), rng)
+			sh := &shard{mach: pram.NewMachine(2*g.NumEdges() + g.NumVertexSlots() + 1)}
+			gs := &graphState{dd: core.New(g, core.Options{
+				RebuildD: true,
+				Headroom: 64,
+				Machine:  sh.mach,
+			})}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sh.publish("bench", gs)
+			}
+		})
+	}
+}

@@ -18,13 +18,22 @@
 //
 // Readers never touch a maintainer. After every applied update (or once per
 // graph per batch round) the shard loop publishes an immutable Snapshot —
-// the current DFS tree, a deep clone of the graph, and the update's cost
+// the current DFS tree, the current graph version, and the update's cost
 // counters — through an atomic pointer. Tree, IsAncestor, Path, Verify and
 // Snapshot load that pointer and work on the frozen pair, so reads never
 // block the update loop, never observe a half-applied update, and remain
-// valid indefinitely (the maintainer runs with persistent trees, not the
-// in-place tree.Rebuild mode, precisely so published trees are never
-// clobbered by later updates).
+// valid indefinitely.
+//
+// Publication is O(1) regardless of graph size. Both published structures
+// are persistent: the tree because the maintainer runs without the in-place
+// tree.Rebuild mode, and the graph because the maintainer mutates a
+// graph.Persistent — a path-copying adjacency whose every update produces a
+// new version sharing all untouched neighbor rows with its predecessors.
+// Freezing either is a pointer grab (core.DynamicDFS.Frozen); there is no
+// per-vertex or per-edge clone on the write path, and a retained Snapshot
+// keeps its exact edge set forever because later updates copy away from
+// published rows instead of writing into them (BenchmarkPublish pins the
+// flat cost; TestServiceSnapshotLongevity pins the sharing guarantee).
 //
 // # Stats threading
 //

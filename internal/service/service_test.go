@@ -150,6 +150,85 @@ func TestServiceSnapshotIsolation(t *testing.T) {
 	}
 }
 
+// TestServiceSnapshotLongevity retains a version-k snapshot across 1000
+// later updates: it must still verify against its own tree, and its edge
+// set must be byte-identical to the clone captured at publication time —
+// the copy-on-write graph may share rows with later versions but must never
+// let a later update show through a retained version.
+func TestServiceSnapshotLongevity(t *testing.T) {
+	s := New(Config{Shards: 1})
+	defer s.Close()
+	rng := rand.New(rand.NewSource(9))
+	const n, pinAfter, updates = 64, 7, 1000
+	g := graph.GnpConnected(n, 4.0/float64(n), rng)
+	snap := mustCreate(t, s, "long", g)
+	mirror := snap.Graph.Mutable()
+
+	apply := func(k int) {
+		for applied := 0; applied < k; {
+			var u core.Update
+			if e, ok := graph.RandomEdgeNotIn(mirror, rng); ok && rng.Intn(2) == 0 {
+				mirror.InsertEdge(e.U, e.V)
+				u = core.Update{Kind: core.InsertEdge, U: e.U, V: e.V}
+			} else if e, ok := graph.RandomExistingEdge(mirror, rng); ok {
+				mirror.DeleteEdge(e.U, e.V)
+				u = core.Update{Kind: core.DeleteEdge, U: e.U, V: e.V}
+			} else {
+				continue
+			}
+			fut, err := s.Apply("long", u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := fut.Wait(); err != nil {
+				t.Fatal(err)
+			}
+			applied++
+		}
+	}
+
+	apply(pinAfter)
+	pinned, err := s.Snapshot("long")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned.Version != pinAfter {
+		t.Fatalf("pinned snapshot at version %d, want %d", pinned.Version, pinAfter)
+	}
+	// The clone-based ground truth: Edges() materializes an independent
+	// copy of the mirror's edge set at pin time.
+	cloneEdges := mirror.Edges()
+	pinnedTree := pinned.Tree
+
+	apply(updates)
+
+	cur, err := s.Snapshot("long")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Version != pinAfter+updates {
+		t.Fatalf("current snapshot at version %d, want %d", cur.Version, pinAfter+updates)
+	}
+	if pinned.Tree != pinnedTree || pinned.Version != pinAfter {
+		t.Fatal("pinned snapshot fields mutated")
+	}
+	if err := pinned.Verify(); err != nil {
+		t.Fatalf("pinned snapshot no longer verifies after %d updates: %v", updates, err)
+	}
+	got := pinned.Graph.Edges()
+	if len(got) != len(cloneEdges) {
+		t.Fatalf("pinned edge count %d, clone-based %d", len(got), len(cloneEdges))
+	}
+	for i := range got {
+		if got[i] != cloneEdges[i] {
+			t.Fatalf("edge %d: pinned %v, clone-based %v", i, got[i], cloneEdges[i])
+		}
+	}
+	if err := cur.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestServiceConcurrentReadersWriters is the -race hammer: one Service,
 // four shards, eight graphs, dedicated writers submitting mixed updates
 // (singles and coalesced batches) while readers continuously serve
@@ -189,7 +268,7 @@ func TestServiceConcurrentReadersWriters(t *testing.T) {
 				errc <- err
 				return
 			}
-			mirror := snap.Graph.Clone()
+			mirror := snap.Graph.Mutable()
 			nextUpdate := func() (core.Update, bool) {
 				if rng.Intn(2) == 0 {
 					if e, ok := graph.RandomEdgeNotIn(mirror, rng); ok {
@@ -340,7 +419,7 @@ func TestServiceCloseDrains(t *testing.T) {
 	g := graph.GnpConnected(48, 4.0/48, rng)
 	snap := mustCreate(t, s, "drain", g)
 
-	mirror := snap.Graph.Clone()
+	mirror := snap.Graph.Mutable()
 	var futs []*Future
 	for i := 0; i < 20; i++ {
 		e, ok := graph.RandomEdgeNotIn(mirror, rng)

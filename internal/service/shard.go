@@ -185,15 +185,16 @@ func (sh *shard) handle(t task, headroom int) {
 }
 
 // publish freezes gs's current state into a new immutable snapshot and
-// installs it. Only the shard goroutine calls publish, so the maintainer is
-// quiescent while the graph is cloned; the tree is persistent (ReuseTree
-// off) and shared zero-copy.
+// installs it. Both the graph (a persistent copy-on-write version) and the
+// tree (persistent; ReuseTree off) are shared zero-copy, so publication is
+// O(1): a pointer grab per structure plus one small Snapshot allocation,
+// with no per-vertex or per-edge work regardless of graph size.
 func (sh *shard) publish(id GraphID, gs *graphState) *Snapshot {
 	dd := gs.dd
 	snap := &Snapshot{
 		ID:          id,
 		Version:     uint64(dd.Updates()),
-		Graph:       dd.Graph().Clone(),
+		Graph:       dd.Frozen(),
 		Tree:        dd.Tree(),
 		PseudoRoot:  dd.PseudoRoot(),
 		LastStats:   dd.LastStats(),

@@ -13,13 +13,19 @@ import (
 
 // Snapshot is one graph's state frozen at an update boundary. All fields
 // are immutable: the Tree is the maintainer's persistent per-update tree,
-// the Graph a deep clone taken by the shard loop before publication. A
-// Snapshot stays valid forever — readers may retain it across any number of
-// later updates (they will simply be reading an old version).
+// the Graph the maintainer's persistent adjacency version — both shared
+// with the maintainer zero-copy, so publication costs O(1) rather than a
+// deep clone. A Snapshot stays valid forever — readers may retain it across
+// any number of later updates (they will simply be reading an old version;
+// later updates path-copy away from it without ever writing into it).
+//
+// Graph exposes the read API of graph.Adjacency (IsVertex, HasEdge, Degree,
+// Neighbors, Edges, Snapshot() CSR, ...); drivers that want a private
+// mutable mirror call Graph.Mutable().
 type Snapshot struct {
 	ID         GraphID
 	Version    uint64 // updates applied to the graph when published
-	Graph      *graph.Graph
+	Graph      *graph.Persistent
 	Tree       *tree.Tree
 	PseudoRoot int
 

@@ -8,15 +8,21 @@
 // only through Stream.Pass, which counts invocations. Two pass counters are
 // reported per update:
 //
-//   - Passes: the number of Pass invocations the simulator actually made
-//     (it answers each query eagerly, so concurrent queries of one batch
-//     are not physically coalesced);
+//   - Passes: the number of Pass invocations the simulator actually made.
+//     A batch of independent queries is answered with one shared pass
+//     (per-query source and walk-position maps, per-query best-hit folds),
+//     so an update whose oracle traffic is all batches makes exactly one
+//     physical pass per sequential batch;
 //   - ScheduledPasses: the passes a synchronous-schedule execution needs —
-//     the critical-path count of sequential query batches, each answerable
-//     by one shared pass (Section 6.1: "the parallel queries on D made by
-//     our algorithm can be answered simultaneously using a single pass").
+//     the maintainer-level query rounds plus the critical-path count of the
+//     engine's sequential query batches, each answerable by one shared pass
+//     (Section 6.1: "the parallel queries on D made by our algorithm can be
+//     answered simultaneously using a single pass").
 //
-// Theorem 15's O(log² n) bound is about ScheduledPasses; both are measured.
+// Theorem 15's O(log² n) bound is about ScheduledPasses; both are measured,
+// and on single-chain updates they coincide (Passes can exceed
+// ScheduledPasses only when the engine processes several independent
+// component chains, whose batches the synchronous schedule overlaps).
 package stream
 
 import (
@@ -30,15 +36,26 @@ import (
 	"repro/internal/tree"
 )
 
-// Stream is the external edge storage. Only Pass reads it.
+// Stream is the external edge storage. Only Pass reads it. Alongside the
+// edge slice it keeps an edge→index map so the dynamic input's own
+// insert/remove mutations are O(1) instead of an O(m) scan (the map belongs
+// to the input simulation, not to the maintainer's O(n) resident state).
 type Stream struct {
 	edges  []graph.Edge
+	index  map[graph.Edge]int // canonical edge -> position in edges
 	passes int64
 }
 
 // NewStream copies the edge list into external storage.
 func NewStream(edges []graph.Edge) *Stream {
-	return &Stream{edges: append([]graph.Edge(nil), edges...)}
+	s := &Stream{
+		edges: make([]graph.Edge, 0, len(edges)),
+		index: make(map[graph.Edge]int, len(edges)),
+	}
+	for _, e := range edges {
+		s.insert(e)
+	}
+	return s
 }
 
 // Pass performs one sequential pass over the stream.
@@ -56,19 +73,27 @@ func (s *Stream) Passes() int64 { return s.passes }
 func (s *Stream) Len() int { return len(s.edges) }
 
 // insert and remove mutate the stream (the dynamic input itself changing;
-// not counted as passes).
-func (s *Stream) insert(e graph.Edge) { s.edges = append(s.edges, e.Canon()) }
+// not counted as passes). Both are O(1): remove swap-deletes through the
+// index map instead of scanning the slice.
+func (s *Stream) insert(e graph.Edge) {
+	c := e.Canon()
+	s.index[c] = len(s.edges)
+	s.edges = append(s.edges, c)
+}
 
 func (s *Stream) remove(e graph.Edge) bool {
 	c := e.Canon()
-	for i, x := range s.edges {
-		if x == c {
-			s.edges[i] = s.edges[len(s.edges)-1]
-			s.edges = s.edges[:len(s.edges)-1]
-			return true
-		}
+	i, ok := s.index[c]
+	if !ok {
+		return false
 	}
-	return false
+	last := len(s.edges) - 1
+	moved := s.edges[last]
+	s.edges[i] = moved
+	s.index[moved] = i
+	s.edges = s.edges[:last]
+	delete(s.index, c)
+	return true
 }
 
 // oracle answers engine queries with one pass each, using O(n) scratch.
@@ -85,91 +110,21 @@ func (o *oracle) note(words int) {
 	}
 }
 
+// The single-query entry points are one-element batches, so the fold and
+// tie-break rules live only in the batch executor.
+
 func (o *oracle) EdgeToWalk(sources, walk []int, fromEnd bool, st *dstruct.Stats) (dstruct.Hit, bool) {
-	if len(sources) == 0 || len(walk) == 0 {
-		return dstruct.Hit{}, false
-	}
-	if st != nil {
-		st.WalkQueries++
-	}
-	src := make(map[int]bool, len(sources))
-	for _, v := range sources {
-		src[v] = true
-	}
-	pos := make(map[int]int, len(walk))
-	for i, v := range walk {
-		pos[v] = i
-	}
-	o.note(len(sources) + len(walk))
-	best := dstruct.Hit{ZPos: -1}
-	found := false
-	consider := func(u, z int) {
-		p, on := pos[z]
-		if !on || !src[u] {
-			return
-		}
-		h := dstruct.Hit{U: u, Z: z, ZPos: p}
-		switch {
-		case !found:
-			best, found = h, true
-		case h.ZPos != best.ZPos:
-			if (fromEnd && h.ZPos > best.ZPos) || (!fromEnd && h.ZPos < best.ZPos) {
-				best = h
-			}
-		case h.U < best.U:
-			best = h
-		}
-	}
-	o.s.Pass(func(e graph.Edge) {
-		consider(e.U, e.V)
-		consider(e.V, e.U)
-	})
-	return best, found
+	ans := o.EdgeToWalkBatch([]dstruct.WalkQuery{
+		{Sources: sources, Walk: walk, FromEnd: fromEnd},
+	}, st)
+	return ans[0].Hit, ans[0].OK
 }
 
 func (o *oracle) EdgeToWalkBySource(sources, walk []int, fromEnd bool, st *dstruct.Stats) (dstruct.Hit, bool) {
-	if len(sources) == 0 || len(walk) == 0 {
-		return dstruct.Hit{}, false
-	}
-	if st != nil {
-		st.WalkQueries++
-	}
-	order := make(map[int]int, len(sources))
-	for i, v := range sources {
-		if _, dup := order[v]; !dup {
-			order[v] = i
-		}
-	}
-	pos := make(map[int]int, len(walk))
-	for i, v := range walk {
-		pos[v] = i
-	}
-	o.note(len(sources) + len(walk))
-	bestOrder := len(sources)
-	best := dstruct.Hit{ZPos: -1}
-	consider := func(u, z int) {
-		p, on := pos[z]
-		if !on {
-			return
-		}
-		ord, isSrc := order[u]
-		if !isSrc || ord > bestOrder {
-			return
-		}
-		h := dstruct.Hit{U: u, Z: z, ZPos: p}
-		if ord < bestOrder {
-			bestOrder, best = ord, h
-			return
-		}
-		if (fromEnd && h.ZPos > best.ZPos) || (!fromEnd && h.ZPos < best.ZPos) {
-			best = h
-		}
-	}
-	o.s.Pass(func(e graph.Edge) {
-		consider(e.U, e.V)
-		consider(e.V, e.U)
-	})
-	return best, bestOrder < len(sources)
+	ans := o.EdgeToWalkBatch([]dstruct.WalkQuery{
+		{Sources: sources, Walk: walk, FromEnd: fromEnd, BySource: true},
+	}, st)
+	return ans[0].Hit, ans[0].OK
 }
 
 func (o *oracle) HasEdgeToWalk(sources, walk []int, st *dstruct.Stats) bool {
@@ -177,17 +132,159 @@ func (o *oracle) HasEdgeToWalk(sources, walk []int, st *dstruct.Stats) bool {
 	return ok
 }
 
-// EdgeToWalkBatch answers the batch one query at a time. The simulator is
-// eager — each query costs one physical pass — while the synchronous
-// schedule would answer the whole batch with a single shared pass; that
-// coalesced count is what Stats.Batches / ScheduledPasses report.
+// batchState is one active query's state during a coalesced batch pass:
+// its source lookup (membership for EdgeToWalk, submission order for
+// BySource), its walk-position index, and its running best hit. The lookup
+// maps are shared across queries that pass the same underlying slice —
+// the engine's batches reuse source and walk slices heavily (disjoint
+// subtree sets against one shared walk), which is what keeps the resident
+// scratch of a whole batch O(n) rather than O(batch·n).
+type batchState struct {
+	src       map[int]bool // EdgeToWalk: source membership
+	order     map[int]int  // BySource: source -> first submission index
+	pos       map[int]int  // walk vertex -> walk index
+	fromEnd   bool
+	bySource  bool
+	nSources  int
+	best      dstruct.Hit
+	bestOrder int
+	found     bool
+}
+
+// sliceKey identifies a []int by its backing storage, so lookup maps built
+// from the same slice are shared within one batch.
+type sliceKey struct {
+	ptr *int
+	n   int
+}
+
+func keyOf(s []int) sliceKey { return sliceKey{&s[0], len(s)} }
+
+func (b *batchState) consider(u, z int) {
+	p, on := b.pos[z]
+	if !on {
+		return
+	}
+	h := dstruct.Hit{U: u, Z: z, ZPos: p}
+	if b.bySource {
+		ord, isSrc := b.order[u]
+		if !isSrc || ord > b.bestOrder {
+			return
+		}
+		if ord < b.bestOrder {
+			b.bestOrder, b.best, b.found = ord, h, true
+			return
+		}
+		if (b.fromEnd && h.ZPos > b.best.ZPos) || (!b.fromEnd && h.ZPos < b.best.ZPos) {
+			b.best = h
+		}
+		return
+	}
+	if !b.src[u] {
+		return
+	}
+	switch {
+	case !b.found:
+		b.best, b.found = h, true
+	case h.ZPos != b.best.ZPos:
+		if (b.fromEnd && h.ZPos > b.best.ZPos) || (!b.fromEnd && h.ZPos < b.best.ZPos) {
+			b.best = h
+		}
+	case h.U < b.best.U:
+		b.best = h
+	}
+}
+
+// EdgeToWalkBatch answers the whole batch with one shared pass over the
+// stream — the Section 6.1 simultaneity the ScheduledPasses measure models,
+// executed for real: every active query keeps its own source/walk-position
+// maps and folds its own best hit per edge, with exactly the tie-break
+// rules of the single-query paths, so physical Passes advance by one per
+// batch instead of one per query. Trivial queries (empty sources or walk)
+// are answered false without touching the stream; a batch with no active
+// query costs zero passes.
 func (o *oracle) EdgeToWalkBatch(qs []dstruct.WalkQuery, st *dstruct.Stats) []dstruct.WalkAnswer {
 	out := make([]dstruct.WalkAnswer, len(qs))
-	for i, q := range qs {
+	states := make([]*batchState, 0, len(qs))
+	srcMaps := make(map[sliceKey]map[int]bool)
+	orderMaps := make(map[sliceKey]map[int]int)
+	posMaps := make(map[sliceKey]map[int]int)
+	resident := 0
+	for _, q := range qs {
+		if len(q.Sources) == 0 || len(q.Walk) == 0 {
+			continue
+		}
+		if st != nil {
+			st.WalkQueries++
+		}
+		b := &batchState{
+			fromEnd:   q.FromEnd,
+			bySource:  q.BySource,
+			nSources:  len(q.Sources),
+			best:      dstruct.Hit{ZPos: -1},
+			bestOrder: len(q.Sources),
+		}
 		if q.BySource {
-			out[i].Hit, out[i].OK = o.EdgeToWalkBySource(q.Sources, q.Walk, q.FromEnd, st)
+			k := keyOf(q.Sources)
+			if m, ok := orderMaps[k]; ok {
+				b.order = m
+			} else {
+				b.order = make(map[int]int, len(q.Sources))
+				for i, v := range q.Sources {
+					if _, dup := b.order[v]; !dup {
+						b.order[v] = i
+					}
+				}
+				orderMaps[k] = b.order
+				resident += len(q.Sources)
+			}
 		} else {
-			out[i].Hit, out[i].OK = o.EdgeToWalk(q.Sources, q.Walk, q.FromEnd, st)
+			k := keyOf(q.Sources)
+			if m, ok := srcMaps[k]; ok {
+				b.src = m
+			} else {
+				b.src = make(map[int]bool, len(q.Sources))
+				for _, v := range q.Sources {
+					b.src[v] = true
+				}
+				srcMaps[k] = b.src
+				resident += len(q.Sources)
+			}
+		}
+		wk := keyOf(q.Walk)
+		if m, ok := posMaps[wk]; ok {
+			b.pos = m
+		} else {
+			b.pos = make(map[int]int, len(q.Walk))
+			for i, v := range q.Walk {
+				b.pos[v] = i
+			}
+			posMaps[wk] = b.pos
+			resident += len(q.Walk)
+		}
+		states = append(states, b)
+	}
+	if len(states) == 0 {
+		return out
+	}
+	o.note(resident)
+	o.s.Pass(func(e graph.Edge) {
+		for _, b := range states {
+			b.consider(e.U, e.V)
+			b.consider(e.V, e.U)
+		}
+	})
+	k := 0
+	for i, q := range qs {
+		if len(q.Sources) == 0 || len(q.Walk) == 0 {
+			continue
+		}
+		b := states[k]
+		k++
+		if b.bySource {
+			out[i] = dstruct.WalkAnswer{Hit: b.best, OK: b.bestOrder < b.nSources}
+		} else {
+			out[i] = dstruct.WalkAnswer{Hit: b.best, OK: b.found}
 		}
 	}
 	return out
@@ -299,7 +396,11 @@ func (m *Maintainer) Stream() *Stream { return m.s }
 func (m *Maintainer) LastPasses() int64 { return m.lastPasses }
 
 // LastScheduledPasses returns the synchronous-schedule pass count of the
-// most recent update (the Theorem 15 measure).
+// most recent update (the Theorem 15 measure): the maintainer-level query
+// rounds — incident-edge discovery, the pre-reroot deepest-edge batch —
+// plus the engine's critical-path batch count. With the coalesced batch
+// executor every one of those rounds is one physical pass, so LastPasses
+// equals this whenever the engine's components form a single chain.
 func (m *Maintainer) LastScheduledPasses() int { return m.lastScheduled }
 
 // LastStats returns the rerooting statistics of the most recent update.
@@ -316,7 +417,10 @@ func (m *Maintainer) engine() *reroot.Engine {
 	return reroot.NewWithScratch(m.t, m.l, m.o, pram.NewMachine(m.t.Live()), &m.scratch)
 }
 
-func (m *Maintainer) finish(e *reroot.Engine, passesBefore int64) error {
+// finish installs the engine's result; preBatches is the number of
+// maintainer-level query rounds this update issued before (or outside) the
+// engine, each of them one pass of the synchronous schedule.
+func (m *Maintainer) finish(e *reroot.Engine, passesBefore int64, preBatches int) error {
 	nt, err := e.Result(m.pseudo, m.present())
 	if err != nil {
 		return fmt.Errorf("stream: rebuilding tree: %w", err)
@@ -325,7 +429,7 @@ func (m *Maintainer) finish(e *reroot.Engine, passesBefore int64) error {
 	m.l = lca.New(nt)
 	m.lastStats = e.Stats
 	m.lastPasses = m.s.passes - passesBefore
-	m.lastScheduled = e.Stats.Batches
+	m.lastScheduled = preBatches + e.Stats.Batches
 	return nil
 }
 
@@ -361,4 +465,21 @@ func (m *Maintainer) lowestEdgeToPath(sub, low, high int) (int, int, bool) {
 		return 0, 0, false
 	}
 	return hit.U, hit.Z, true
+}
+
+// lowestEdgesToPath answers lowestEdgeToPath for several disjoint subtrees
+// against one shared path as a single coalesced batch — one physical pass
+// for the whole family, the streaming counterpart of the core maintainer's
+// batched DeleteVertex round.
+func (m *Maintainer) lowestEdgesToPath(subs []int, low, high int) []dstruct.WalkAnswer {
+	walk := m.t.PathUp(low, high)
+	qs := make([]dstruct.WalkQuery, len(subs))
+	for i, sub := range subs {
+		qs[i] = dstruct.WalkQuery{
+			Sources: m.t.SubtreeVertices(sub, nil),
+			Walk:    walk,
+			FromEnd: false,
+		}
+	}
+	return m.o.EdgeToWalkBatch(qs, nil)
 }

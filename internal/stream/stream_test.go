@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/dstruct"
 	"repro/internal/graph"
 	"repro/internal/pram"
 	"repro/internal/tree"
@@ -122,6 +123,168 @@ func TestPassCounting(t *testing.T) {
 	}
 	if m.Stream().Passes() == before {
 		t.Fatal("stream pass counter did not advance")
+	}
+}
+
+// TestBatchPassCoalescing checks the coalesced executor directly: a batch
+// of mixed queries (EdgeToWalk and BySource, both directions) costs exactly
+// one physical pass and returns bit-identical answers to issuing the same
+// queries one at a time.
+func TestBatchPassCoalescing(t *testing.T) {
+	rng := rand.New(rand.NewSource(163))
+	g := graph.GnpConnected(48, 4.0/48, rng)
+	m := New(g)
+	tr := m.Tree()
+
+	deep := tr.Root
+	for v := 0; v < g.NumVertexSlots(); v++ {
+		if tr.Present(v) && tr.Level(v) > tr.Level(deep) {
+			deep = v
+		}
+	}
+	walk := tr.PathUp(deep, tr.AncestorAtLevel(deep, 1))
+	onWalk := make(map[int]bool, len(walk))
+	for _, v := range walk {
+		onWalk[v] = true
+	}
+	var sources []int
+	for v := 0; v < g.NumVertexSlots(); v++ {
+		if g.IsVertex(v) && !onWalk[v] {
+			sources = append(sources, v)
+		}
+	}
+	qs := []dstruct.WalkQuery{
+		{Sources: sources, Walk: walk, FromEnd: true},
+		{Sources: sources, Walk: walk, FromEnd: false},
+		{Sources: sources, Walk: walk, FromEnd: true, BySource: true},
+		{Sources: nil, Walk: walk, FromEnd: true},     // trivial: no stream touch
+		{Sources: sources, Walk: nil, FromEnd: false}, // trivial: no stream touch
+	}
+
+	p0 := m.Stream().Passes()
+	got := m.o.EdgeToWalkBatch(qs, nil)
+	if used := m.Stream().Passes() - p0; used != 1 {
+		t.Fatalf("batch of %d queries used %d passes, want 1", len(qs), used)
+	}
+
+	p1 := m.Stream().Passes()
+	want := make([]dstruct.WalkAnswer, len(qs))
+	for i, q := range qs {
+		if q.BySource {
+			want[i].Hit, want[i].OK = m.o.EdgeToWalkBySource(q.Sources, q.Walk, q.FromEnd, nil)
+		} else {
+			want[i].Hit, want[i].OK = m.o.EdgeToWalk(q.Sources, q.Walk, q.FromEnd, nil)
+		}
+	}
+	if used := m.Stream().Passes() - p1; used != 3 {
+		t.Fatalf("singles used %d passes, want 3 (two trivial)", used)
+	}
+	for i := range qs {
+		if got[i] != want[i] {
+			t.Fatalf("query %d: batch %+v vs single %+v", i, got[i], want[i])
+		}
+	}
+
+	// An all-trivial batch must not touch the stream at all.
+	p2 := m.Stream().Passes()
+	m.o.EdgeToWalkBatch([]dstruct.WalkQuery{{Sources: nil, Walk: walk}, {Walk: nil}}, nil)
+	if m.Stream().Passes() != p2 {
+		t.Fatal("trivial batch consumed a pass")
+	}
+}
+
+// TestBatchedUpdatePassParity asserts LastPasses == LastScheduledPasses on
+// batched updates: with the single-pass batch executor, every scheduled
+// round of a single-chain update is exactly one physical pass.
+func TestBatchedUpdatePassParity(t *testing.T) {
+	// Hub deletion: three arm subtrees query one shared path in a single
+	// coalesced batch. Physical cost is the incident-edge discovery pass
+	// plus that one batch pass (the eager executor used to pay one pass per
+	// arm).
+	g := graph.MustFromEdges(8, []graph.Edge{
+		{U: 0, V: 1},
+		{U: 1, V: 2}, {U: 2, V: 3},
+		{U: 1, V: 4}, {U: 4, V: 5},
+		{U: 1, V: 6}, {U: 6, V: 7},
+	})
+	m := New(g)
+	mirror := g.Clone()
+	if err := m.DeleteVertex(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := mirror.DeleteVertex(1); err != nil {
+		t.Fatal(err)
+	}
+	verifyAgainst(t, m, mirror, "hub delete")
+	if m.LastPasses() != 2 {
+		t.Fatalf("hub delete used %d passes, want 2 (discovery + one child batch)", m.LastPasses())
+	}
+	if int(m.LastPasses()) != m.LastScheduledPasses() {
+		t.Fatalf("hub delete: passes %d != scheduled %d", m.LastPasses(), m.LastScheduledPasses())
+	}
+
+	// Single-chain reroots: tree-edge deletes (and the reinserts undoing
+	// them) on a cycle keep the engine's component tree a chain, so the
+	// physical pass count must equal the synchronous schedule exactly.
+	cg := graph.Cycle(64)
+	cm := New(cg)
+	cmirror := cg.Clone()
+	for _, e := range [][2]int{{5, 6}, {20, 21}, {40, 41}, {62, 63}} {
+		for _, op := range []string{"del", "ins"} {
+			var err error
+			if op == "del" {
+				err = cm.DeleteEdge(e[0], e[1])
+				cmirror.DeleteEdge(e[0], e[1])
+			} else {
+				err = cm.InsertEdge(e[0], e[1])
+				cmirror.InsertEdge(e[0], e[1])
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			verifyAgainst(t, cm, cmirror, op)
+			if op == "del" && cm.LastPasses() == 0 {
+				t.Fatalf("%s %v: tree-edge delete used no passes", op, e)
+			}
+			if int(cm.LastPasses()) != cm.LastScheduledPasses() {
+				t.Fatalf("%s %v: passes %d != scheduled %d",
+					op, e, cm.LastPasses(), cm.LastScheduledPasses())
+			}
+		}
+	}
+}
+
+// TestPassesNeverBelowScheduled: the physical executor is sequential, so on
+// any update it can only meet the synchronous schedule (single chain) or
+// exceed it (independent chains it must serialize) — never beat it.
+func TestPassesNeverBelowScheduled(t *testing.T) {
+	rng := rand.New(rand.NewSource(167))
+	for trial := 0; trial < 8; trial++ {
+		n := 16 + rng.Intn(48)
+		g := graph.GnpConnected(n, 3.0/float64(n), rng)
+		m := New(g)
+		mirror := g.Clone()
+		for step := 0; step < 25; step++ {
+			if e, ok := graph.RandomExistingEdge(mirror, rng); ok && step%2 == 0 {
+				if mirror.DeleteEdge(e.U, e.V) == nil {
+					if err := m.DeleteEdge(e.U, e.V); err != nil {
+						t.Fatal(err)
+					}
+				}
+			} else if e, ok := graph.RandomEdgeNotIn(mirror, rng); ok {
+				if mirror.InsertEdge(e.U, e.V) == nil {
+					if err := m.InsertEdge(e.U, e.V); err != nil {
+						t.Fatal(err)
+					}
+				}
+			} else {
+				continue
+			}
+			if int(m.LastPasses()) < m.LastScheduledPasses() {
+				t.Fatalf("physical passes %d below schedule %d",
+					m.LastPasses(), m.LastScheduledPasses())
+			}
+		}
 	}
 }
 

@@ -24,7 +24,7 @@ func (m *Maintainer) InsertEdge(u, v int) error {
 	if err := e.Reroot(vPrime, v, u); err != nil {
 		return fmt.Errorf("stream: insert edge (%d,%d): %w", u, v, err)
 	}
-	return m.finish(e, p0)
+	return m.finish(e, p0, 0)
 }
 
 // DeleteEdge processes an edge deletion (reduction case i).
@@ -40,6 +40,8 @@ func (m *Maintainer) DeleteEdge(u, v int) error {
 		u, v = v, u
 	}
 	e := m.engine()
+	// One maintainer-level query round (one pass) locates the deepest edge
+	// from T(v) to the path above before the engine runs.
 	if inside, on, ok := m.lowestEdgeToPath(v, u, m.compRoot(u)); ok {
 		if err := e.Reroot(v, inside, on); err != nil {
 			return fmt.Errorf("stream: delete edge (%d,%d): %w", u, v, err)
@@ -47,7 +49,7 @@ func (m *Maintainer) DeleteEdge(u, v int) error {
 	} else {
 		e.SetParent(v, m.pseudo)
 	}
-	return m.finish(e, p0)
+	return m.finish(e, p0, 1)
 }
 
 // DeleteVertex processes a vertex deletion (reduction case iii). Its
@@ -71,20 +73,31 @@ func (m *Maintainer) DeleteVertex(u int) error {
 	children := m.t.Children(u)
 	e := m.engine()
 	e.SetParent(u, tree.None)
-	for _, vi := range children {
-		if pu == m.pseudo {
+	pre := 1 // the incident-edge discovery pass above
+	if pu == m.pseudo {
+		// u was a component root: no path above to reattach through.
+		for _, vi := range children {
 			e.SetParent(vi, m.pseudo)
-			continue
 		}
-		if inside, on, ok := m.lowestEdgeToPath(vi, pu, m.compRoot(pu)); ok {
-			if err := e.Reroot(vi, inside, on); err != nil {
-				return fmt.Errorf("stream: delete vertex %d: %w", u, err)
+		return m.finish(e, p0, pre)
+	}
+	// The per-child deepest-edge queries share one path and are independent
+	// of each other: one coalesced batch, one pass, mirroring the core
+	// maintainer's DeleteVertex round.
+	if len(children) > 0 {
+		answers := m.lowestEdgesToPath(children, pu, m.compRoot(pu))
+		pre++
+		for i, vi := range children {
+			if answers[i].OK {
+				if err := e.Reroot(vi, answers[i].Hit.U, answers[i].Hit.Z); err != nil {
+					return fmt.Errorf("stream: delete vertex %d: %w", u, err)
+				}
+			} else {
+				e.SetParent(vi, m.pseudo)
 			}
-		} else {
-			e.SetParent(vi, m.pseudo)
 		}
 	}
-	return m.finish(e, p0)
+	return m.finish(e, p0, pre)
 }
 
 // InsertVertex processes a vertex insertion (reduction case iv) and returns
@@ -108,7 +121,7 @@ func (m *Maintainer) InsertVertex(neighbors []int) (int, error) {
 	e := m.engine()
 	if len(neighbors) == 0 {
 		e.SetParent(u, m.pseudo)
-		return u, m.finish(e, p0)
+		return u, m.finish(e, p0, 0)
 	}
 	vj := neighbors[0]
 	for _, v := range neighbors[1:] {
@@ -135,7 +148,7 @@ func (m *Maintainer) InsertVertex(neighbors []int) (int, error) {
 			return -1, fmt.Errorf("stream: insert vertex: %w", err)
 		}
 	}
-	return u, m.finish(e, p0)
+	return u, m.finish(e, p0, 0)
 }
 
 func (m *Maintainer) isVertex(v int) bool {
