@@ -1,13 +1,16 @@
 // Command dfsload drives the multi-graph serving layer (dfs.Service) with
 // synthetic tenant traffic: a fleet of writers streams edge updates through
 // Apply/ApplyBatch while readers hammer snapshot queries (IsAncestor, Path,
-// periodic full DFS verification), then the per-shard metrics are printed.
+// periodic full DFS verification) and — for a -querymix slice of reads —
+// the snapshot analytics engine (LCA, k-th ancestors, subtree aggregates,
+// tree paths, biconnectivity) through Service.Query, then the per-shard
+// metrics are printed with index-cache hit rates.
 //
 // Usage:
 //
 //	dfsload                                  # defaults: GOMAXPROCS shards
 //	dfsload -shards 8 -graphs 32 -n 2048 \
-//	        -writers 8 -readers 16 -batch 4 -duration 10s
+//	        -writers 8 -readers 16 -batch 4 -querymix 50 -duration 10s
 package main
 
 import (
@@ -33,12 +36,14 @@ func main() {
 		readers  = flag.Int("readers", 2*runtime.GOMAXPROCS(0), "reader goroutines")
 		batch    = flag.Int("batch", 4, "updates per ApplyBatch round (1 = plain Apply)")
 		verifyPc = flag.Int("verify", 2, "percent of reads running full DFS verification")
+		queryMix = flag.Int("querymix", 25, "percent of reads using the snapshot analytics engine (LCA/bicon/subtree via Service.Query)")
+		qcache   = flag.Int("querycache", 0, "index-cache capacity per shard (0 = default)")
 		duration = flag.Duration("duration", 5*time.Second, "load duration")
 		seed     = flag.Int64("seed", 1, "workload seed")
 	)
 	flag.Parse()
 
-	svc := dfs.NewService(dfs.ServiceConfig{Shards: *shards})
+	svc := dfs.NewService(dfs.ServiceConfig{Shards: *shards, QueryCache: *qcache})
 	ids := make([]dfs.GraphID, *graphs)
 	setup := time.Now()
 	for i := range ids {
@@ -57,6 +62,7 @@ func main() {
 		stop                      atomic.Bool
 		applied, conflicts        atomic.Int64
 		reads, verifies, readErrs atomic.Int64
+		idxQueries                atomic.Int64
 		wgW, wgR                  sync.WaitGroup
 		fatal                     = make(chan error, *writers+*readers)
 	)
@@ -148,6 +154,39 @@ func main() {
 						}
 					}
 				}
+				if rng.Intn(100) < *queryMix {
+					// Analytics read: version-pinned derived-index queries.
+					h, qerr := svc.Query(id)
+					if qerr != nil {
+						readErrs.Add(1)
+					} else if h.Tree().Present(u) && h.Tree().Present(v) {
+						nq := int64(0)
+						l, lerr := h.LCA(u, v)
+						if lerr != nil {
+							readErrs.Add(1)
+						}
+						nq++
+						if l >= 0 {
+							if _, err := h.TreePath(u, v); err != nil {
+								readErrs.Add(1)
+							}
+							nq++
+						}
+						if _, err := h.KthAncestor(u, rng.Intn(8)); err != nil {
+							readErrs.Add(1)
+						}
+						nq++
+						if _, err := h.SubtreeAgg(v); err != nil {
+							readErrs.Add(1)
+						}
+						nq++
+						if _, err := h.SameBiconnectedComponent(u, v); err != nil {
+							readErrs.Add(1)
+						}
+						nq++
+						idxQueries.Add(nq)
+					}
+				}
 				reads.Add(1)
 				if rng.Intn(100) < *verifyPc {
 					verifies.Add(1)
@@ -191,4 +230,10 @@ func main() {
 		conflicts.Load(),
 		reads.Load(), float64(reads.Load())/secs,
 		verifies.Load(), readErrs.Load())
+	if lookups := m.IndexCacheHits + m.IndexCacheMisses; lookups > 0 {
+		fmt.Printf("index queries %d (%.0f/sec); cache: %.1f%% hit over %d lookups, %d evictions, %d index builds in %v\n",
+			idxQueries.Load(), float64(idxQueries.Load())/secs,
+			100*float64(m.IndexCacheHits)/float64(lookups), lookups,
+			m.IndexCacheEvictions, m.IndexBuilds, m.IndexBuildTime.Round(time.Microsecond))
+	}
 }

@@ -47,6 +47,17 @@
 // read-only — search-effort counters go to per-call QueryStats
 // accumulators, not shared state — so published structures need no reader
 // synchronization.
+//
+// # Snapshot analytics
+//
+// Service.Query turns the maintained DFS tree into a queryable product:
+// it returns a version-pinned QueryHandle answering LCA, k-th/level
+// ancestors, subtree aggregates, tree paths, and biconnectivity queries
+// (articulation points, bridges, component IDs) from derived indexes —
+// each built at most once per snapshot version under a singleflight guard
+// and retained in a bounded per-shard LRU, so warm queries do zero index
+// construction. NewSnapshotQuery is the standalone (uncached) equivalent
+// for any frozen graph+tree pair.
 package dfs
 
 import (
@@ -60,6 +71,7 @@ import (
 	"repro/internal/pram"
 	"repro/internal/reroot"
 	"repro/internal/service"
+	"repro/internal/snapquery"
 	"repro/internal/stream"
 	"repro/internal/tree"
 	"repro/internal/verify"
@@ -161,6 +173,19 @@ type ServiceMetrics = service.Metrics
 // ServiceShardMetrics is one shard's sample within ServiceMetrics.
 type ServiceShardMetrics = service.ShardMetrics
 
+// QueryHandle is the snapshot analytics engine's version-pinned handle:
+// LCA, level/k-th ancestors, subtree aggregates, tree paths and the full
+// biconnectivity family, answered from derived indexes built at most once
+// per snapshot version. Obtain one from Service.Query / QuerySnapshot
+// (cached per shard) or NewSnapshotQuery (standalone). A handle stays
+// valid — and keeps answering for its pinned version — across any number
+// of later updates and cache evictions.
+type QueryHandle = service.QueryHandle
+
+// SubtreeAgg is the aggregate QueryHandle.SubtreeAgg reports over one
+// subtree: size, height, and min/max vertex label.
+type SubtreeAgg = snapquery.Agg
+
 // NewGraph returns a graph with n isolated vertices.
 func NewGraph(n int) *Graph { return graph.New(n) }
 
@@ -182,6 +207,14 @@ func Preprocess(g *Graph, maxUpdates int) *FaultTolerant {
 
 // NewService starts the multi-graph serving layer.
 func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// NewSnapshotQuery builds an uncached analytics handle over any frozen
+// (graph, DFS tree) pair — a retained GraphSnapshot's fields, or a paused
+// Maintainer's Graph/Tree/PseudoRoot. The serving layer's Service.Query is
+// the cached equivalent.
+func NewSnapshotQuery(g Adjacency, t *Tree, pseudoRoot int) *QueryHandle {
+	return snapquery.New(g, t, pseudoRoot)
+}
 
 // NewStreaming builds the semi-streaming maintainer over g's edges.
 func NewStreaming(g *Graph) *Streaming { return stream.New(g) }

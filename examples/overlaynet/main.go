@@ -90,6 +90,22 @@ func main() {
 	st := m.LastStats()
 	fmt.Printf("last event traversal mix: disintegrate=%d pathHalve=%d disconnect=%d heavy(l/p/r)=%d/%d/%d\n",
 		st.Disintegrate, st.PathHalve, st.Disconnect, st.HeavyL, st.HeavyP, st.HeavyR)
+
+	// Cut-vertex monitoring, the overlay's reason to keep a DFS tree: the
+	// snapshot analytics engine derives the biconnectivity structure (and
+	// LCA / subtree indexes) from the maintained tree without a fresh
+	// traversal, each index built once per snapshot.
+	q := dfs.NewSnapshotQuery(m.Graph(), m.Tree(), m.PseudoRoot())
+	artic := q.ArticulationPoints()
+	fmt.Printf("health: %d cut peers, %d bridge links, %d biconnected components\n",
+		len(artic), len(q.Bridges()), q.NumBiconnectedComponents())
+	if len(artic) > 0 {
+		v := artic[0]
+		if agg, err := q.SubtreeAgg(v); err == nil {
+			fmt.Printf("  e.g. cut peer %d anchors a subtree of %d peers (height %d)\n",
+				v, agg.Size, agg.Height)
+		}
+	}
 }
 
 func components(m *dfs.Maintainer) int {

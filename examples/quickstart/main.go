@@ -48,6 +48,17 @@ func main() {
 	}
 	fmt.Printf("\nPRAM accounting: depth=%d work=%d over %d updates\n",
 		m.Machine().Depth(), m.Machine().Work(), m.Updates())
+
+	// The maintained tree is more than a verification artifact: the
+	// snapshot analytics engine answers derived queries from it.
+	q := dfs.NewSnapshotQuery(m.Graph(), m.Tree(), m.PseudoRoot())
+	if l, err := q.LCA(0, 8); err == nil {
+		fmt.Printf("\nanalytics: LCA(0,8)=%d", l)
+	}
+	if p, err := q.TreePath(0, 8); err == nil {
+		fmt.Printf(", tree path 0..8 = %v", p)
+	}
+	fmt.Printf(", articulation points = %v\n", q.ArticulationPoints())
 }
 
 func printTree(m *dfs.Maintainer) {

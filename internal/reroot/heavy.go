@@ -18,6 +18,16 @@ import (
 // back edge landing on an already-planned vertex), the engine abandons the
 // scenario chain and uses the always-correct l-shaped fallback, counting it
 // in Stats.Fallbacks.
+//
+// Scenario 2's inputs do not depend on scenario 1's answer, only on its
+// walk — so its probes are issued speculatively: the chain-hanger
+// eligibility round merges into scenario 1's eligibility round, and the
+// (xd,yd) witness + pc-cap probes ride in scenario 1's own query batch.
+// When scenario 1 succeeds the speculative answers are discarded (wasted
+// work, same round count); when it fails, scenario 2 starts two rounds
+// earlier. The charge accounting follows the physical batches one to one,
+// so the streaming oracle's pass parity (LastPasses == ScheduledPasses on
+// single-chain updates) is preserved.
 func (e *Engine) heavy(c *Comp, rcPiece, vH int) ([]*Comp, error) {
 	t := e.T
 	p := c.Pieces[rcPiece]
@@ -65,10 +75,65 @@ func (e *Engine) heavy(c *Comp, rcPiece, vH int) ([]*Comp, error) {
 	pLwalk := wl.verts
 	ixL := e.indexWalk(pLwalk)
 	hangersL := e.hangersOfWalk(pLwalk, ixL)
-	eligL := e.eligible(c, hangersL, pcVerts)
+
+	// Scenario 2's geometry — the chain [vL..vH] and its hanging subtrees —
+	// is pure tree work, computed up front so its eligibility round and its
+	// probes can be coalesced with scenario 1's. Speculation is skipped when
+	// vl == rPrime: there is no room above vl for the p/r legs, so a failed
+	// scenario 1 goes straight to the fallback.
+	speculate := vl != rPrime
+	var chain, chainHangers []int
+	var onChain map[int]bool
+	if speculate {
+		chain = t.PathUp(vH, vL) // vH .. vL (deep to shallow)
+		onChain = make(map[int]bool, len(chain))
+		for _, q := range chain {
+			onChain[q] = true
+		}
+		for _, q := range chain {
+			for _, ch := range t.Children(q) {
+				if !onChain[ch] && !t.IsAncestor(ch, vH) {
+					chainHangers = append(chainHangers, ch)
+				}
+			}
+		}
+	}
+	var eligL, eligChain []int
+	if speculate {
+		groups := e.eligibleGroups(c, [][]int{hangersL, chainHangers}, pcVerts)
+		eligL, eligChain = groups[0], groups[1]
+	} else {
+		eligL = e.eligible(c, hangersL, pcVerts)
+	}
+
+	// One batch round answers scenario 1's highest-edge query and — when
+	// speculating — scenario 2's (xd,yd) witness and pc-cap probes. eligD:
+	// the eligible hangers of p*_L except T(vL), plus those of the chain.
 	src1 := append(e.subtreeVerts(eligL), pcVerts...)
-	e.chargeBatch(c, len(src1))
-	hit1, ok1 := e.D.EdgeToWalk(src1, pLwalk, true, &e.QStats) // lowest on p*_L = highest on path(rc,r')
+	var hit1, hitD, hitPC dstruct.Hit
+	var ok1, okD, okPC bool
+	if speculate {
+		var eligD []int
+		for _, h := range eligL {
+			if h != vL {
+				eligD = append(eligD, h)
+			}
+		}
+		eligD = append(eligD, eligChain...)
+		srcD := e.subtreeVerts(eligD)
+		e.chargeBatch(c, len(src1)+len(srcD)+len(pcVerts))
+		ans := e.D.EdgeToWalkBatch([]dstruct.WalkQuery{
+			{Sources: src1, Walk: pLwalk, FromEnd: true}, // lowest on p*_L = highest on path(rc,r')
+			{Sources: srcD, Walk: pLwalk, FromEnd: true},
+			{Sources: pcVerts, Walk: pLwalk, FromEnd: true},
+		}, &e.QStats)
+		hit1, ok1 = ans[0].Hit, ans[0].OK
+		hitD, okD = ans[1].Hit, ans[1].OK
+		hitPC, okPC = ans[2].Hit, ans[2].OK
+	} else {
+		e.chargeBatch(c, len(src1))
+		hit1, ok1 = e.D.EdgeToWalk(src1, pLwalk, true, &e.QStats)
+	}
 	if !ok1 {
 		return nil, fmt.Errorf("heavy: pc-component has no edge to path(rc,r')")
 	}
@@ -81,45 +146,10 @@ func (e *Engine) heavy(c *Comp, rcPiece, vH int) ([]*Comp, error) {
 	}
 
 	// ---- Scenario 2: p traversal. ----
-	// Chain [vL..vH] and its hanging subtrees.
-	chain := t.PathUp(vH, vL) // vH .. vL (deep to shallow)
-	onChain := make(map[int]bool, len(chain))
-	for _, q := range chain {
-		onChain[q] = true
-	}
-	var chainHangers []int
-	for _, q := range chain {
-		for _, ch := range t.Children(q) {
-			if !onChain[ch] && !t.IsAncestor(ch, vH) {
-				chainHangers = append(chainHangers, ch)
-			}
-		}
-	}
-	// (xd, yd): highest edge on path(rc,r') from the eligible hangers of
-	// p*_L except T(vL), plus the eligible hangers of the chain.
-	var eligD []int
-	for _, h := range eligL {
-		if h != vL {
-			eligD = append(eligD, h)
-		}
-	}
-	eligD = append(eligD, e.eligible(c, chainHangers, pcVerts)...)
-	if vl == rPrime {
-		// No room above vl for the p/r legs; the paper's scenarios assume
-		// a non-empty upper path.
+	if !speculate {
+		// vl == rPrime: the paper's scenarios assume a non-empty upper path.
 		return e.heavyFallback(c, rcPiece)
 	}
-	// The (xd,yd) witness query and pc's own highest-edge probe are
-	// independent (same walk, disjoint concerns): issue them as one batch —
-	// one round of the model, one worker-pool dispatch — instead of the two
-	// sequential probes this scenario used to make.
-	srcD := e.subtreeVerts(eligD)
-	e.chargeBatch(c, len(srcD)+len(pcVerts))
-	probeAns := e.D.EdgeToWalkBatch([]dstruct.WalkQuery{
-		{Sources: srcD, Walk: pLwalk, FromEnd: true},
-		{Sources: pcVerts, Walk: pLwalk, FromEnd: true},
-	}, &e.QStats)
-	hitD, okD := probeAns[0].Hit, probeAns[0].OK
 	ydEff := rc
 	if okD {
 		ydEff = hitD.Z
@@ -137,10 +167,8 @@ func (e *Engine) heavy(c *Comp, rcPiece, vH int) ([]*Comp, error) {
 	if t.Level(ydEff) < t.Level(sStart) {
 		sStart = ydEff
 	}
-	if hitPC, okPC := probeAns[1].Hit, probeAns[1].OK; okPC {
-		if t.Level(hitPC.Z) < t.Level(sStart) {
-			sStart = hitPC.Z
-		}
+	if okPC && t.Level(hitPC.Z) < t.Level(sStart) {
+		sStart = hitPC.Z
 	}
 	segS := t.PathUp(sStart, rPrime)
 	// Ordered sources by hang depth on the chain, deepest LCA(x',vH) first.
@@ -306,17 +334,32 @@ func (e *Engine) hangersOfWalk(walk []int, ix *walkIndex) []int {
 // eligible filters subtree roots to those with at least one edge to the
 // target vertex list (one batch of existence queries, executed together).
 func (e *Engine) eligible(c *Comp, roots []int, target []int) []int {
+	return e.eligibleGroups(c, [][]int{roots}, target)[0]
+}
+
+// eligibleGroups answers several independent eligibility families against
+// one shared target in a single batch round — one physical pass for the
+// streaming oracle, one worker-pool dispatch for D — returning the
+// eligible roots of each group in input order.
+func (e *Engine) eligibleGroups(c *Comp, groups [][]int, target []int) [][]int {
 	total := 0
-	qs := make([]dstruct.WalkQuery, len(roots))
-	for i, r := range roots {
-		sv := e.T.SubtreeVertices(r, nil)
-		total += len(sv)
-		qs[i] = dstruct.WalkQuery{Sources: sv, Walk: target, FromEnd: true}
+	var qs []dstruct.WalkQuery
+	for _, roots := range groups {
+		for _, r := range roots {
+			sv := e.T.SubtreeVertices(r, nil)
+			total += len(sv)
+			qs = append(qs, dstruct.WalkQuery{Sources: sv, Walk: target, FromEnd: true})
+		}
 	}
-	var out []int
-	for i, ans := range e.D.EdgeToWalkBatch(qs, &e.QStats) {
-		if ans.OK {
-			out = append(out, roots[i])
+	ans := e.D.EdgeToWalkBatch(qs, &e.QStats)
+	out := make([][]int, len(groups))
+	i := 0
+	for gi, roots := range groups {
+		for _, r := range roots {
+			if ans[i].OK {
+				out[gi] = append(out[gi], r)
+			}
+			i++
 		}
 	}
 	if total > 0 {

@@ -35,6 +35,43 @@
 // published rows instead of writing into them (BenchmarkPublish pins the
 // flat cost; TestServiceSnapshotLongevity pins the sharing guarantee).
 //
+// # Read path: the snapshot analytics engine
+//
+// Beyond the raw snapshot reads (Tree, IsAncestor, Path, Verify), Query
+// returns a version-pinned QueryHandle — the snapquery analytics engine —
+// answering LCA, KthAncestor/AncestorAtDepth, SubtreeSize/SubtreeAgg,
+// TreePath, and the biconnectivity family (IsArticulation, Bridges,
+// BiconnectedComponentOf, SameBiconnectedComponent) from derived indexes
+// built over the pinned snapshot.
+//
+// Index sharing and lifetime guarantees:
+//
+//   - One handle per version. Every reader resolving the same (graph,
+//     version) through a shard gets the same *QueryHandle, so each derived
+//     index is built at most once per version: the first readers to need an
+//     index share a single build under a singleflight guard, and every
+//     later query on it is a pure atomic pointer load — zero construction,
+//     zero allocation (BenchmarkSnapshotQuery pins the warm path at ≤1
+//     alloc and the cold/warm gap at ≥100×).
+//   - A QueryHandle pins exactly one version. Later updates never change
+//     its answers (the pinned graph and tree are persistent; updates
+//     path-copy away from them), so a handle obtained before k further
+//     updates still answers for its original version, consistent with the
+//     Snapshot it came from.
+//   - Eviction never invalidates a held handle. The per-shard LRU
+//     (Config.QueryCache versions) bounds how many versions keep indexes
+//     resident; evicting a version only drops the cache's reference. A
+//     reader still holding the handle keeps querying it; re-querying an
+//     evicted version through QuerySnapshot simply rebuilds (a cache miss),
+//     with answers identical to the evicted bundle's.
+//   - DropGraph purges the dropped graph's cached versions; handles and
+//     snapshots already handed out stay valid. A graph re-created under a
+//     dropped ID cannot alias stale indexes — the cache detects the
+//     incarnation change and rebuilds.
+//
+// Metrics reports the cache behaviour per shard: IndexCacheHits/Misses/
+// Evictions/Size, IndexBuilds and IndexBuildTime.
+//
 // # Stats threading
 //
 // Snapshot isolation is only sound because D's query path is read-only:

@@ -20,6 +20,19 @@ type ShardMetrics struct {
 	// maintainer on the shard.
 	PRAMDepth int64
 	PRAMWork  int64
+	// Index-cache counters of the shard's snapshot analytics engine:
+	// IndexCacheHits/Misses count Query resolutions served from / added to
+	// the per-shard LRU of derived-index bundles, IndexCacheEvictions the
+	// versions aged out (capacity or graph drop), IndexCacheSize the
+	// versions currently resident, IndexBuilds the individual index
+	// constructions (≤ 4 per version: LCA, bicon, aggregates, lifting) and
+	// IndexBuildTime their summed wall-clock cost.
+	IndexCacheHits      uint64
+	IndexCacheMisses    uint64
+	IndexCacheEvictions uint64
+	IndexCacheSize      int
+	IndexBuilds         uint64
+	IndexBuildTime      time.Duration
 }
 
 // Metrics aggregates the per-shard samples.
@@ -29,6 +42,12 @@ type Metrics struct {
 	Updates       uint64
 	Rejected      uint64
 	UpdatesPerSec float64
+	// Aggregated index-cache counters across shards.
+	IndexCacheHits      uint64
+	IndexCacheMisses    uint64
+	IndexCacheEvictions uint64
+	IndexBuilds         uint64
+	IndexBuildTime      time.Duration
 }
 
 // Metrics samples every shard. It takes only read locks and never touches
@@ -54,22 +73,34 @@ func (s *Service) Metrics() Metrics {
 		if elapsed > 0 {
 			rate = float64(updates) / elapsed
 		}
+		qs := sh.qcache.Stats()
 		out.Shards[i] = ShardMetrics{
-			Shard:             sh.idx,
-			Graphs:            graphs,
-			QueueDepth:        len(sh.mailbox),
-			QueueCap:          cap(sh.mailbox),
-			Updates:           updates,
-			Rejected:          sh.rejected.Load(),
-			UpdatesPerSec:     rate,
-			OldestSnapshotAge: oldest,
-			PRAMDepth:         sh.mach.Depth(),
-			PRAMWork:          sh.mach.Work(),
+			Shard:               sh.idx,
+			Graphs:              graphs,
+			QueueDepth:          len(sh.mailbox),
+			QueueCap:            cap(sh.mailbox),
+			Updates:             updates,
+			Rejected:            sh.rejected.Load(),
+			UpdatesPerSec:       rate,
+			OldestSnapshotAge:   oldest,
+			PRAMDepth:           sh.mach.Depth(),
+			PRAMWork:            sh.mach.Work(),
+			IndexCacheHits:      qs.Hits,
+			IndexCacheMisses:    qs.Misses,
+			IndexCacheEvictions: qs.Evictions,
+			IndexCacheSize:      qs.Size,
+			IndexBuilds:         qs.Builds,
+			IndexBuildTime:      qs.BuildTime,
 		}
 		out.Graphs += graphs
 		out.Updates += updates
 		out.Rejected += out.Shards[i].Rejected
 		out.UpdatesPerSec += rate
+		out.IndexCacheHits += qs.Hits
+		out.IndexCacheMisses += qs.Misses
+		out.IndexCacheEvictions += qs.Evictions
+		out.IndexBuilds += qs.Builds
+		out.IndexBuildTime += qs.BuildTime
 	}
 	return out
 }

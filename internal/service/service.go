@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/pram"
+	"repro/internal/snapquery"
 	"repro/internal/tree"
 )
 
@@ -39,6 +40,11 @@ type Config struct {
 	// Headroom is the vertex-ID headroom reserved per graph for vertex
 	// insertions. Default 64.
 	Headroom int
+	// QueryCache is the number of snapshot versions per shard whose derived
+	// query indexes (LCA, biconnectivity, subtree aggregates, level
+	// ancestors) stay resident in the shard's LRU. Default
+	// snapquery.DefaultCapacity.
+	QueryCache int
 }
 
 func (c Config) withDefaults() Config {
@@ -53,6 +59,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Headroom <= 0 {
 		c.Headroom = 64
+	}
+	if c.QueryCache <= 0 {
+		c.QueryCache = snapquery.DefaultCapacity
 	}
 	return c
 }
@@ -76,6 +85,7 @@ func New(cfg Config) *Service {
 			mach:    pram.NewMachineWithWorkers(1, cfg.Workers),
 			mailbox: make(chan task, cfg.MailboxDepth),
 			graphs:  make(map[GraphID]*graphState),
+			qcache:  snapquery.NewCache(cfg.QueryCache),
 			started: time.Now(),
 		}
 		s.shards[i] = sh
@@ -206,6 +216,34 @@ func (s *Service) Path(id GraphID, down, up int) ([]int, error) {
 		return nil, err
 	}
 	return snap.Path(down, up)
+}
+
+// QueryHandle is a version-pinned analytics handle over one published
+// snapshot: LCA, KthAncestor, subtree aggregates, tree paths and the full
+// biconnectivity family (articulation points, bridges, component IDs),
+// each index built at most once per version and shared by every reader of
+// that version. A handle pins exactly one version: it keeps answering
+// consistently after any number of later updates, and after the shard's
+// index cache evicts the version.
+type QueryHandle = snapquery.Handle
+
+// Query returns the analytics handle for id's latest published snapshot.
+// The hot path (version already cached on the shard) is lock-free reads
+// plus one LRU bump — no allocation and no index construction.
+func (s *Service) Query(id GraphID) (*QueryHandle, error) {
+	sh := s.shardFor(id)
+	gs := sh.lookup(id)
+	if gs == nil {
+		return nil, fmt.Errorf("service: graph %q: %w", id, ErrNoGraph)
+	}
+	return sh.queryHandle(gs.snap.Load()), nil
+}
+
+// QuerySnapshot returns the analytics handle for a specific retained
+// snapshot — pinned old versions stay queryable (and cacheable) even while
+// newer versions are being published and served.
+func (s *Service) QuerySnapshot(snap *Snapshot) *QueryHandle {
+	return s.shardFor(snap.ID).queryHandle(snap)
 }
 
 // Verify checks id's latest snapshot (tree is a DFS tree of the graph).

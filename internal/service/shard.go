@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/pram"
+	"repro/internal/snapquery"
 )
 
 type taskKind int
@@ -64,6 +65,11 @@ type shard struct {
 	// create/drop; readers resolve IDs under the read lock).
 	mu     sync.RWMutex
 	graphs map[GraphID]*graphState
+
+	// qcache retains the derived query indexes (snapquery bundles) of the
+	// shard's recently queried snapshot versions. Read-side only: the
+	// update loop never touches it except to purge dropped graphs.
+	qcache *snapquery.Cache
 
 	updates  atomic.Uint64 // successfully applied updates
 	rejected atomic.Uint64 // updates rejected by the maintainer
@@ -130,6 +136,7 @@ func (sh *shard) handle(t task, headroom int) {
 		sh.mu.Lock()
 		delete(sh.graphs, t.id)
 		sh.mu.Unlock()
+		sh.qcache.DropGraph(string(t.id))
 		t.fut.resolve(-1, gs.snap.Load(), nil)
 
 	case taskApply:
@@ -203,4 +210,12 @@ func (sh *shard) publish(id GraphID, gs *graphState) *Snapshot {
 	}
 	gs.snap.Store(snap)
 	return snap
+}
+
+// queryHandle resolves snap's version-pinned analytics handle through the
+// shard's index cache (shared by all readers of that version).
+func (sh *shard) queryHandle(snap *Snapshot) *snapquery.Handle {
+	return sh.qcache.Handle(
+		snapquery.Key{Graph: string(snap.ID), Version: snap.Version},
+		snap.Graph, snap.Tree, snap.PseudoRoot)
 }

@@ -1,0 +1,87 @@
+package snapquery
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/graph"
+)
+
+// BenchmarkSnapshotQuery pins the acceptance contract of the analytics
+// engine: the cold path (first reader of a version builds all four
+// indexes) is near-linear work, while the warm path (version cached) does
+// zero index construction — a cache lookup plus O(1)/O(log n) reads — and
+// must stay allocation-free (≤1 alloc) and ≥100× faster than the cold
+// build at n=1e5. Run by the CI bench-smoke step with -benchtime=1x.
+func BenchmarkSnapshotQuery(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		g := graph.GnpConnected(n, 4.0/float64(n), rng)
+		tr := baseline.StaticDFS(g)
+		pseudo := g.NumVertexSlots()
+
+		b.Run(fmt.Sprintf("cold/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h := New(g, tr, pseudo)
+				h.Warm()
+			}
+		})
+
+		b.Run(fmt.Sprintf("warm/n=%d", n), func(b *testing.B) {
+			c := NewCache(4)
+			key := Key{Graph: "bench", Version: 1}
+			c.Handle(key, g, tr, pseudo).Warm()
+			us := make([]int, 256)
+			vs := make([]int, 256)
+			for i := range us {
+				us[i], vs[i] = rng.Intn(n), rng.Intn(n)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h := c.Handle(key, g, tr, pseudo)
+				u, v := us[i%256], vs[i%256]
+				if _, err := h.LCA(u, v); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := h.SubtreeAgg(u); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := h.KthAncestor(v, 3); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := h.SameBiconnectedComponent(u, v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotQueryColdPerIndex isolates each index's build cost.
+func BenchmarkSnapshotQueryColdPerIndex(b *testing.B) {
+	const n = 10000
+	rng := rand.New(rand.NewSource(n))
+	g := graph.GnpConnected(n, 4.0/float64(n), rng)
+	tr := baseline.StaticDFS(g)
+	pseudo := g.NumVertexSlots()
+	for _, bench := range []struct {
+		name  string
+		touch func(h *Handle)
+	}{
+		{"lca", func(h *Handle) { h.LCA(0, n/2) }},
+		{"lift", func(h *Handle) { h.KthAncestor(n/2, 3) }},
+		{"agg", func(h *Handle) { h.SubtreeAgg(n / 2) }},
+		{"bicon", func(h *Handle) { h.IsArticulation(n / 2) }},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bench.touch(New(g, tr, pseudo))
+			}
+		})
+	}
+}

@@ -1,0 +1,137 @@
+package snapquery
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/tree"
+)
+
+// DefaultCapacity is the per-cache handle retention used when a Cache is
+// created with a non-positive capacity.
+const DefaultCapacity = 16
+
+// Cache retains query handles in an LRU keyed by (graph, version). One
+// handle per version is ever created: concurrent readers of the same
+// version share it (and therefore share each index's single build). The
+// cache bounds how many versions keep their indexes resident; evicting a
+// version only drops the cache's reference — handles already handed out
+// stay fully usable.
+//
+// The mutex guards only the map/list structure; index construction happens
+// outside it, under the handle's own per-index singleflight, so a slow
+// build never blocks hits on other versions.
+type Cache struct {
+	capacity int
+
+	mu    sync.Mutex
+	lru   *list.List // of *Handle; front = most recently used
+	byKey map[Key]*list.Element
+
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	evictions  atomic.Uint64
+	builds     atomic.Uint64
+	buildNanos atomic.Int64
+	size       atomic.Int64 // mirrors lru.Len() so Stats never takes mu
+}
+
+// NewCache creates a cache retaining up to capacity versions
+// (DefaultCapacity when capacity <= 0).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		lru:      list.New(),
+		byKey:    make(map[Key]*list.Element, capacity),
+	}
+}
+
+// Capacity returns the maximum number of retained versions.
+func (c *Cache) Capacity() int { return c.capacity }
+
+func (c *Cache) observe(d time.Duration) {
+	c.builds.Add(1)
+	c.buildNanos.Add(int64(d))
+}
+
+// Handle returns the cached handle for key, creating (and caching) it from
+// the supplied frozen snapshot parts on first use. The hit path is a map
+// lookup plus an LRU bump — no allocation, no index work.
+func (c *Cache) Handle(key Key, g graph.Adjacency, t *tree.Tree, pseudo int) *Handle {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		h := el.Value.(*Handle)
+		if h.t == t {
+			c.lru.MoveToFront(el)
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return h
+		}
+		// Same key over a different snapshot: a dropped-and-recreated graph
+		// whose version counter collided. Evict the stale incarnation.
+		c.lru.Remove(el)
+		delete(c.byKey, key)
+		c.evictions.Add(1)
+		c.size.Add(-1)
+	}
+	h := &Handle{key: key, g: g, t: t, pseudo: pseudo, onBuild: c.observe}
+	c.byKey[key] = c.lru.PushFront(h)
+	c.size.Add(1)
+	for c.lru.Len() > c.capacity {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.byKey, back.Value.(*Handle).key)
+		c.evictions.Add(1)
+		c.size.Add(-1)
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return h
+}
+
+// DropGraph evicts every cached version of the named graph (the graph was
+// dropped; its retained snapshots — and any held handles — stay valid).
+func (c *Cache) DropGraph(graphName string) {
+	c.mu.Lock()
+	var next *list.Element
+	for el := c.lru.Front(); el != nil; el = next {
+		next = el.Next()
+		h := el.Value.(*Handle)
+		if h.key.Graph == graphName {
+			c.lru.Remove(el)
+			delete(c.byKey, h.key)
+			c.evictions.Add(1)
+			c.size.Add(-1)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Stats is a point-in-time sample of the cache's counters.
+type Stats struct {
+	Hits      uint64 // Handle calls answered from the LRU
+	Misses    uint64 // Handle calls that created a new handle
+	Evictions uint64 // versions dropped (capacity or DropGraph)
+	Builds    uint64 // individual index constructions (≤ 4 per version)
+	BuildTime time.Duration
+	Size      int // versions currently retained
+}
+
+// Stats samples the counters. It is lock-free (atomics only), so metrics
+// polling never contends with the Handle hot path.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Builds:    c.builds.Load(),
+		BuildTime: time.Duration(c.buildNanos.Load()),
+		Size:      int(c.size.Load()),
+	}
+}

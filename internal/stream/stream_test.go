@@ -254,6 +254,60 @@ func TestBatchedUpdatePassParity(t *testing.T) {
 	}
 }
 
+// TestHeavyScenarioPassAccounting drives dense graphs whose deletions
+// enter heavy subtrees — the workload where scenario 2's probes now ride
+// speculatively in scenario 1's batch — and asserts the pass accounting
+// survives the coalescing: the tree stays a valid DFS tree, physical
+// passes never drop below the synchronous schedule (the charge accounting
+// follows the merged batches one to one), and the scheduled count stays
+// within the Theorem 15 polylog bound.
+func TestHeavyScenarioPassAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(229))
+	var heavyFired int
+	for trial := 0; trial < 6; trial++ {
+		n := 24 + rng.Intn(40)
+		g := graph.GnpConnected(n, 0.25, rng)
+		m := New(g)
+		mirror := g.Clone()
+		lg := 1
+		for p := 1; p < n; p <<= 1 {
+			lg++
+		}
+		for step := 0; step < 30; step++ {
+			var err error
+			if e, ok := graph.RandomExistingEdge(mirror, rng); ok && step%3 != 0 {
+				if mirror.DeleteEdge(e.U, e.V) != nil {
+					continue
+				}
+				err = m.DeleteEdge(e.U, e.V)
+			} else if e, ok := graph.RandomEdgeNotIn(mirror, rng); ok {
+				if mirror.InsertEdge(e.U, e.V) != nil {
+					continue
+				}
+				err = m.InsertEdge(e.U, e.V)
+			} else {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			verifyAgainst(t, m, mirror, "heavy accounting")
+			st := m.LastStats()
+			heavyFired += st.HeavyL + st.HeavyP + st.HeavyR + st.HeavySpecial
+			if int(m.LastPasses()) < m.LastScheduledPasses() {
+				t.Fatalf("physical passes %d below schedule %d after merged heavy probes",
+					m.LastPasses(), m.LastScheduledPasses())
+			}
+			if m.LastScheduledPasses() > 6*lg*lg {
+				t.Fatalf("scheduled passes %d exceed polylog bound %d", m.LastScheduledPasses(), 6*lg*lg)
+			}
+		}
+	}
+	if heavyFired == 0 {
+		t.Fatal("heavy scenarios never fired; workload does not cover the speculative batch")
+	}
+}
+
 // TestPassesNeverBelowScheduled: the physical executor is sequential, so on
 // any update it can only meet the synchronous schedule (single chain) or
 // exceed it (independent chains it must serialize) — never beat it.
