@@ -351,19 +351,89 @@ func BenchmarkBuildDExec(b *testing.B) {
 	}
 }
 
+// BenchmarkUpdateExec compares D's two fully dynamic maintenance modes on
+// the same update stream: mode=incremental (the default — Update
+// repositions only moved entries, falling back to a rebuild on high churn)
+// vs mode=rebuild (Options.FullRebuildD, the paper's literal per-update
+// m-processor rebuild). On low-churn updates the incremental rows drop the
+// O(m) per-update term: their cost tracks the moved set, not the graph,
+// and flattens as n grows with fixed churn. incfrac/op reports the fraction
+// of updates that stayed on the incremental path.
 func BenchmarkUpdateExec(b *testing.B) {
 	for _, n := range []int{4096, 100000} {
 		for _, w := range execWidths() {
-			b.Run(fmt.Sprintf("n=%d/workers=%d", n, w), func(b *testing.B) {
+			for _, mode := range []string{"incremental", "rebuild"} {
+				b.Run(fmt.Sprintf("n=%d/workers=%d/mode=%s", n, w, mode), func(b *testing.B) {
+					rng := rand.New(rand.NewSource(1))
+					g := GnpConnected(n, 3.0/float64(n), rng)
+					mach := pram.NewMachineWithWorkers(2*g.NumEdges()+g.NumVertexSlots()+1, w)
+					// ReuseTree: the single-tenant perf path rebuilds the tree
+					// in place per update (nothing here retains old trees).
+					m := NewMaintainerWith(g, Options{
+						RebuildD:     true,
+						FullRebuildD: mode == "rebuild",
+						Machine:      mach,
+						ReuseTree:    true,
+					})
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						benchUpdate(b, m, rng)
+					}
+					b.StopTimer()
+					inc, reb := m.D().MaintenanceCounts()
+					if total := inc + reb; total > 0 {
+						b.ReportMetric(float64(inc)/float64(total), "incfrac/op")
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkUpdateExecLowChurn isolates the acceptance shape for incremental
+// D maintenance: a fixed-churn workload (alternating back-edge insert/delete
+// of one far-apart vertex pair — the tree never changes) across growing n.
+// Under mode=rebuild the per-update cost grows with m; under
+// mode=incremental it stays flat.
+func BenchmarkUpdateExecLowChurn(b *testing.B) {
+	for _, n := range []int{4096, 16384, 100000} {
+		for _, mode := range []string{"incremental", "rebuild"} {
+			b.Run(fmt.Sprintf("n=%d/mode=%s", n, mode), func(b *testing.B) {
 				rng := rand.New(rand.NewSource(1))
 				g := GnpConnected(n, 3.0/float64(n), rng)
-				mach := pram.NewMachineWithWorkers(2*g.NumEdges()+g.NumVertexSlots()+1, w)
-				// ReuseTree: the single-tenant perf path rebuilds the tree in
-				// place per update (nothing here retains old trees).
-				m := NewMaintainerWith(g, Options{RebuildD: true, Machine: mach, ReuseTree: true})
+				m := NewMaintainerWith(g, Options{
+					RebuildD:     true,
+					FullRebuildD: mode == "rebuild",
+					ReuseTree:    true,
+				})
+				// A non-edge whose endpoints are tree-comparable: inserting
+				// it is a back edge, the lowest-churn update there is.
+				tr := m.Tree()
+				u, v := -1, -1
+				for x := 0; x < g.NumVertexSlots() && u < 0; x++ {
+					if !tr.Present(x) || tr.Level(x) < 3 {
+						continue
+					}
+					a := tr.Parent[tr.Parent[tr.Parent[x]]]
+					if a != m.PseudoRoot() && !m.Graph().HasEdge(x, a) {
+						u, v = x, a
+					}
+				}
+				if u < 0 {
+					b.Skip("no comparable non-edge found")
+				}
+				_ = rng
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					benchUpdate(b, m, rng)
+					var err error
+					if i%2 == 0 {
+						err = m.InsertEdge(u, v)
+					} else {
+						err = m.DeleteEdge(u, v)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
 				}
 			})
 		}

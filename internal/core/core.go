@@ -7,9 +7,12 @@
 // Every update runs the reduction algorithm of Section 3 — updating the DFS
 // tree reduces to independently rerooting disjoint subtrees — and delegates
 // the rerooting to internal/reroot. In the default fully dynamic mode, D is
-// rebuilt on the new tree after each update (the paper's m-processor
-// O(log n) rebuild); with rebuilding disabled the maintainer accumulates
-// patches on the original D instead, which is the engine of the
+// maintained incrementally on the new tree after each update: the engine
+// reports the moved-vertex set and dstruct.D.Update repositions exactly the
+// entries naming moved vertices, falling back to the paper's m-processor
+// ground-up rebuild only on high-churn updates (or always, under
+// Options.FullRebuildD). With rebuilding disabled the maintainer
+// accumulates patches on the original D instead, which is the engine of the
 // fault-tolerant algorithm (Theorem 14).
 package core
 
@@ -58,10 +61,19 @@ type Update struct {
 
 // Options configure a DynamicDFS.
 type Options struct {
-	// RebuildD controls whether D is rebuilt after every update (fully
-	// dynamic mode, default for NewFullyDynamic) or patched in place (the
-	// fault tolerant algorithm's use).
+	// RebuildD controls whether D is refreshed after every update (fully
+	// dynamic mode, default for NewFullyDynamic) or left pinned to the base
+	// tree accumulating patches (the fault tolerant algorithm's use). In
+	// refresh mode D is maintained incrementally from the engine's
+	// moved-vertex set, falling back to a ground-up rebuild on high-churn
+	// updates; see FullRebuildD.
 	RebuildD bool
+	// FullRebuildD forces refresh mode to rebuild D from scratch after
+	// every update — the paper's literal m-processor rebuild (Theorem 13) —
+	// instead of maintaining it incrementally. It exists as the benchmark
+	// baseline and for differential tests; production callers should leave
+	// it off.
+	FullRebuildD bool
 	// Headroom reserves vertex-ID slots between the graph and the pseudo
 	// root so vertex insertions do not displace it. Default 64.
 	Headroom int
@@ -89,12 +101,13 @@ type DynamicDFS struct {
 	m      *pram.Machine
 	pseudo int
 
-	rebuildD   bool
-	headroom   int
-	sequential bool
-	reuseTree  bool
-	lastStats  reroot.Stats
-	updates    int
+	rebuildD     bool
+	fullRebuildD bool
+	headroom     int
+	sequential   bool
+	reuseTree    bool
+	lastStats    reroot.Stats
+	updates      int
 
 	qstats  dstruct.Stats // query search effort accumulated across updates
 	scratch reroot.Scratch
@@ -111,12 +124,13 @@ func New(g *graph.Graph, opt Options) *DynamicDFS {
 		m = pram.NewMachine(2*g.NumEdges() + g.NumVertexSlots() + 1)
 	}
 	dd := &DynamicDFS{
-		g:          graph.PersistentOf(g),
-		m:          m,
-		rebuildD:   opt.RebuildD,
-		headroom:   opt.Headroom,
-		sequential: opt.Sequential,
-		reuseTree:  opt.ReuseTree,
+		g:            graph.PersistentOf(g),
+		m:            m,
+		rebuildD:     opt.RebuildD,
+		fullRebuildD: opt.FullRebuildD,
+		headroom:     opt.Headroom,
+		sequential:   opt.Sequential,
+		reuseTree:    opt.ReuseTree,
 	}
 	dd.pseudo = dd.g.NumVertexSlots() + dd.headroom
 	dd.rebuildTreeFromScratch()
@@ -267,20 +281,33 @@ func (dd *DynamicDFS) finish(e *reroot.Engine) error {
 	if err != nil {
 		return fmt.Errorf("core: rebuilding tree: %w", err)
 	}
-	dd.installTree(nt)
+	dd.installTree(nt, e.Moved(), false)
 	dd.lastStats = e.Stats
 	dd.qstats.Add(e.QStats)
 	return nil
 }
 
-func (dd *DynamicDFS) installTree(nt *tree.Tree) {
+// installTree makes nt the current tree and refreshes the derived
+// structures. moved is the engine's moved-vertex set (the only vertices
+// whose relative post-order can differ from the previous tree); sameTree is
+// set by the back-edge fast paths, where the tree object and its numbering
+// are untouched and D only needs to absorb the update's patches.
+func (dd *DynamicDFS) installTree(nt *tree.Tree, moved []int, sameTree bool) {
 	dd.t = nt
 	dd.updates++
 	if dd.rebuildD {
-		// In-place rebuild reuses D's neighbor rows and LCA buffers (the
-		// paper's m-processor O(log n) rebuild, executed on the worker
-		// pool); dd.l aliases the freshly rebuilt index.
-		dd.d.Rebuild(dd.g, dd.t, dd.m)
+		if dd.fullRebuildD {
+			// Baseline mode: the paper's literal m-processor rebuild,
+			// executed in place on the worker pool.
+			dd.d.Rebuild(dd.g, dd.t, dd.m)
+		} else {
+			// Incremental maintenance: reposition only the entries naming
+			// moved vertices and absorb the update's patches; D falls back
+			// to the full rebuild by itself when the churn ratio makes the
+			// incremental pass more expensive.
+			dd.d.Update(dd.g, dd.t, dstruct.UpdateDelta{Moved: moved, SameTree: sameTree})
+		}
+		// dd.l aliases the freshly maintained index.
 		dd.l = dd.d.LCA
 	} else {
 		// Fault-tolerant mode: D stays pinned to the base tree, so the
@@ -294,6 +321,9 @@ func (dd *DynamicDFS) installTree(nt *tree.Tree) {
 func (dd *DynamicDFS) engine() *reroot.Engine {
 	e := reroot.NewWithScratch(dd.t, dd.l, dd.d, dd.m, &dd.scratch)
 	e.Sequential = dd.sequential
+	// Only the incremental D path consumes the moved set; other modes must
+	// not pay the subtree walks that accumulate it.
+	e.TrackMoved = dd.rebuildD && !dd.fullRebuildD
 	return e
 }
 
@@ -320,7 +350,14 @@ func (dd *DynamicDFS) relocatePseudo() {
 	}
 	dd.t = tree.MustBuild(dd.pseudo, parent, dd.present())
 	if dd.rebuildD {
-		dd.d.Rebuild(dd.g, dd.t, dd.m)
+		if dd.fullRebuildD {
+			dd.d.Rebuild(dd.g, dd.t, dd.m)
+		} else {
+			// Renaming the pseudo root moves no graph vertex relative to any
+			// other (the root's children keep their ID order), so this is a
+			// relabel-only incremental update with an empty moved set.
+			dd.d.Update(dd.g, dd.t, dstruct.UpdateDelta{})
+		}
 		dd.l = dd.d.LCA
 	} else {
 		// Unreachable today (InsertVertex rejects relocation in

@@ -36,9 +36,9 @@ func (dd *DynamicDFS) InsertEdge(u, v int) error {
 	dd.d.PatchInsertEdge(u, v)
 	w := dd.l.LCA(u, v)
 	if w == u || w == v {
-		// Back edge: no restructuring.
+		// Back edge: no restructuring — D just absorbs the edge patch.
 		dd.lastStats = reroot.Stats{}
-		dd.installTree(dd.t)
+		dd.installTree(dd.t, nil, true)
 		return nil
 	}
 	vPrime := dd.t.ChildToward(w, v)
@@ -62,8 +62,9 @@ func (dd *DynamicDFS) DeleteEdge(u, v int) error {
 	dd.g = ng
 	dd.d.PatchDeleteEdge(u, v)
 	if !isTree {
+		// Back edge: no restructuring — D just absorbs the edge patch.
 		dd.lastStats = reroot.Stats{}
-		dd.installTree(dd.t)
+		dd.installTree(dd.t, nil, true)
 		return nil
 	}
 	if dd.t.Parent[u] == v {

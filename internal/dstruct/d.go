@@ -1,29 +1,3 @@
-// Package dstruct implements the paper's data structure D (Section 5.2,
-// Theorems 8 and 9): for each vertex v, the neighbor list N(v) sorted by
-// post-order index in the base DFS tree T. Because T is a DFS tree, every
-// edge of G is a back edge, so the vertices of N(v) that are ancestors of v
-// appear sorted by their position on the root-to-v path — an edge from v to
-// any ancestor-descendant query path of T reduces to one binary search.
-//
-// The structure supports the paper's multi-update extension: edge/vertex
-// insertions and deletions are recorded as small patches consulted during
-// every search (Theorem 9's O(log n + k) search), so a D built once keeps
-// answering queries for the fault-tolerant algorithm while the DFS tree
-// evolves away from T.
-//
-// Concurrency: Build, Rebuild, and the Patch* methods mutate D and require
-// exclusive access. The EdgeToWalk query family is read-only — search-effort
-// counters go to a caller-supplied per-call *Stats — so any number of
-// goroutines may query one D concurrently between mutations.
-//
-// Execution vs accounting: D runs the paper's parallelism for real. Build
-// sorts the per-vertex neighbor rows across the machine's worker pool, and
-// the EdgeToWalk family shards large source batches over the same pool
-// (see query.go). The machine's recorded depth/work stay purely analytic:
-// Build charges Theorem 8's preprocessing cost in one step, query batches
-// are charged by their callers as single O(log n)-depth steps (Theorems 6
-// and 8), and the execution layer itself charges nothing — so host
-// parallelism changes wall-clock time but never the model costs.
 package dstruct
 
 import (
@@ -36,7 +10,7 @@ import (
 	"repro/internal/tree"
 )
 
-// D answers lowest/highest-edge queries against a fixed base tree T plus an
+// D answers lowest/highest-edge queries against a base tree T plus an
 // accumulated patch set.
 type D struct {
 	T   *tree.Tree
@@ -44,12 +18,24 @@ type D struct {
 
 	mach *pram.Machine // worker pool for build and query execution; nil = serial
 
-	nbr [][]int32 // nbr[v] = neighbors of v sorted by post-order (base graph only)
+	// key holds D's relocatable order labels: key[v] is v's position in T's
+	// post-order (-1 for holes), and every neighbor row is sorted by the key
+	// of its entries. The labels lag the tree on purpose — Update repositions
+	// moved entries by binary-searching rows under the previous labels before
+	// refreshing key from the new tree's numbering — so query code must
+	// compare keys, never tree.Post directly.
+	key []int
+
+	nbr [][]int32 // nbr[v] = neighbors of v sorted by key (base graph only)
 
 	inserted   map[int][]int           // patch: inserted-edge adjacency
 	deletedE   map[graph.Edge]struct{} // patch: deleted base edges (canonical)
 	patchVerts map[int]struct{}        // vertices with no base numbering
 	numPatches int
+
+	lastMaint   Maintenance
+	incremental int64 // Update calls that took the incremental path
+	rebuilds    int64 // Rebuild calls (direct or Update fallbacks)
 }
 
 // Stats aggregates search-effort counters. The query path never mutates D:
@@ -96,14 +82,17 @@ func Build(g graph.Adjacency, t *tree.Tree, mach *pram.Machine) *D {
 }
 
 // Rebuild reconstructs D over (g, t) in place, discarding all patches and
-// reusing the existing neighbor rows and LCA buffers. The fully dynamic
-// maintainer rebuilds D after every update; Rebuild keeps that hot path
-// allocation-light. Queries answered before Rebuild returns are invalid.
+// reusing the existing neighbor rows and LCA buffers. It is the ground-up
+// maintenance step of the fully dynamic maintainer (now the high-churn
+// fallback of Update) and keeps that path allocation-light. Queries answered
+// before Rebuild returns are invalid.
 func (d *D) Rebuild(g graph.Adjacency, t *tree.Tree, mach *pram.Machine) {
 	clear(d.inserted)
 	clear(d.deletedE)
 	clear(d.patchVerts)
 	d.numPatches = 0
+	d.rebuilds++
+	d.lastMaint = MaintenanceRebuild
 	d.build(g, t, mach)
 }
 
@@ -116,6 +105,7 @@ func (d *D) build(g graph.Adjacency, t *tree.Tree, mach *pram.Machine) {
 	} else {
 		d.LCA.RebuildWith(t, mach)
 	}
+	d.key = t.PostInto(d.key)
 	if cap(d.nbr) >= n {
 		d.nbr = d.nbr[:n]
 	} else {
@@ -147,10 +137,11 @@ func (d *D) build(g graph.Adjacency, t *tree.Tree, mach *pram.Machine) {
 			for _, w := range scratch {
 				row = append(row, int32(w))
 			}
-			// Post-order indices are unique, so the sort is deterministic
-			// regardless of the map-iteration order Neighbors returns.
+			// Order keys (post-order indices) are unique, so the sort is
+			// deterministic regardless of the map-iteration order Neighbors
+			// returns.
 			sort.Slice(row, func(i, j int) bool {
-				return t.Post(int(row[i])) < t.Post(int(row[j]))
+				return d.key[row[i]] < d.key[row[j]]
 			})
 			d.nbr[v] = row
 			if len(row) > maxDeg {
@@ -180,7 +171,7 @@ func (d *D) build(g graph.Adjacency, t *tree.Tree, mach *pram.Machine) {
 // SizeWords returns the memory footprint of D in words, for the O(m) space
 // audit of Theorem 8.
 func (d *D) SizeWords() int64 {
-	var w int64
+	w := int64(len(d.key))
 	for _, row := range d.nbr {
 		w += int64(len(row))
 	}
@@ -197,11 +188,13 @@ func (d *D) NumPatches() int { return d.numPatches }
 
 // ResetPatches discards all accumulated patches, returning D to its
 // as-built state. The fault-tolerant algorithm calls this between update
-// batches (Theorem 14 reuses the original structure for every batch).
+// batches (Theorem 14 reuses the original structure for every batch); the
+// maps are cleared and reused, as in Rebuild, so per-batch resets do not
+// reallocate.
 func (d *D) ResetPatches() {
-	d.inserted = make(map[int][]int)
-	d.deletedE = make(map[graph.Edge]struct{})
-	d.patchVerts = make(map[int]struct{})
+	clear(d.inserted)
+	clear(d.deletedE)
+	clear(d.patchVerts)
 	d.numPatches = 0
 }
 
@@ -240,7 +233,9 @@ func (d *D) PatchInsertVertex(v int, neighbors []int) {
 }
 
 // PatchDeleteVertex records the deletion of v along with all its incident
-// edges. neighbors must be v's neighbors at deletion time.
+// edges. neighbors must be v's neighbors at deletion time. The vertex's
+// patch state is fully retired: v stops being a patch vertex, so a later
+// insertion reusing the slot starts clean instead of inheriting it.
 func (d *D) PatchDeleteVertex(v int, neighbors []int) {
 	for _, w := range neighbors {
 		if d.removeInserted(v, w) {
@@ -249,15 +244,23 @@ func (d *D) PatchDeleteVertex(v int, neighbors []int) {
 			d.deletedE[graph.Edge{U: v, V: w}.Canon()] = struct{}{}
 		}
 	}
+	delete(d.patchVerts, v)
 	d.numPatches++
 }
 
+// removeInserted removes v from u's inserted-edge row, deleting the row's
+// map entry when it empties so no stale empty rows linger (queries treat a
+// non-empty inserted map as "has patches").
 func (d *D) removeInserted(u, v int) bool {
 	row := d.inserted[u]
 	for i, w := range row {
 		if w == v {
-			row[i] = row[len(row)-1]
-			d.inserted[u] = row[:len(row)-1]
+			if len(row) == 1 {
+				delete(d.inserted, u)
+			} else {
+				row[i] = row[len(row)-1]
+				d.inserted[u] = row[:len(row)-1]
+			}
 			return true
 		}
 	}

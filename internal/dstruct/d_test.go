@@ -276,8 +276,9 @@ func TestBuildAccountingAndSize(t *testing.T) {
 	if mach.Depth() == 0 {
 		t.Fatal("Build charged no depth")
 	}
-	// O(m) size: adjacency copies = 2m words.
-	if w := d.SizeWords(); w != int64(2*g.NumEdges()) {
-		t.Fatalf("SizeWords=%d want %d", w, 2*g.NumEdges())
+	// O(m+n) size: adjacency copies = 2m words, order-key labels = one word
+	// per tree slot.
+	if w := d.SizeWords(); w != int64(2*g.NumEdges()+tr.N()) {
+		t.Fatalf("SizeWords=%d want %d", w, 2*g.NumEdges()+tr.N())
 	}
 }

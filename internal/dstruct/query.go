@@ -415,21 +415,21 @@ func (d *D) searchRun(u int, r run, walk []int, fromEnd bool, st *Stats) (int, b
 	switch {
 	case t.IsAncestor(top, u):
 		// Case A: u below the run's top; its neighbors on the run are
-		// exactly its ancestors with post in [post(l), post(top)],
+		// exactly its ancestors with key in [key(l), key(top)],
 		// l = LCA(u, bot).
 		st.Searches++
 		l := d.LCA.LCA(u, bot)
-		return d.scanRange(u, t.Post(l), t.Post(top), wantTreeHigh, nil, st)
+		return d.scanRange(u, d.key[l], d.key[top], wantTreeHigh, nil, st)
 	case t.IsAncestor(u, top):
 		// Case B (multi-update mode only): u is an ancestor of the whole
-		// run; candidates are descendants with post in [post(bot),
-		// post(top)], filtered to the run's chain.
+		// run; candidates are descendants with key in [key(bot),
+		// key(top)], filtered to the run's chain.
 		st.Searches++
 		st.CaseB++
 		onRun := func(z int) bool {
 			return t.IsAncestor(top, z) && t.IsAncestor(z, bot)
 		}
-		return d.scanRange(u, t.Post(bot), t.Post(top), wantTreeHigh, onRun, st)
+		return d.scanRange(u, d.key[bot], d.key[top], wantTreeHigh, onRun, st)
 	default:
 		// Incomparable: a base-graph edge would be a cross edge of T —
 		// impossible.
@@ -437,15 +437,14 @@ func (d *D) searchRun(u int, r run, walk []int, fromEnd bool, st *Stats) (int, b
 	}
 }
 
-// scanRange searches nbr[u] within post-order range [lopost, hipost].
-// Entries nearer the tree-top have larger post, so wantTreeHigh scans from
+// scanRange searches nbr[u] within order-key range [lokey, hikey].
+// Entries nearer the tree-top have larger keys, so wantTreeHigh scans from
 // the high end. filter (may be nil) restricts to run membership; deleted
 // edges are skipped.
-func (d *D) scanRange(u, lopost, hipost int, wantTreeHigh bool, filter func(int) bool, st *Stats) (int, bool) {
+func (d *D) scanRange(u, lokey, hikey int, wantTreeHigh bool, filter func(int) bool, st *Stats) (int, bool) {
 	row := d.nbr[u]
-	t := d.T
-	lo := lowerBound(row, lopost, t.Post) // first index with post >= lopost
-	hi := upperBound(row, hipost, t.Post) // first index with post > hipost
+	lo := lowerBound(row, lokey, d.key) // first index with key >= lokey
+	hi := upperBound(row, hikey, d.key) // first index with key > hikey
 	if wantTreeHigh {
 		for i := hi - 1; i >= lo; i-- {
 			st.ScanSteps++
@@ -466,11 +465,11 @@ func (d *D) scanRange(u, lopost, hipost int, wantTreeHigh bool, filter func(int)
 	return 0, false
 }
 
-func lowerBound(row []int32, post int, postOf func(int) int) int {
+func lowerBound(row []int32, k int, key []int) int {
 	lo, hi := 0, len(row)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if postOf(int(row[mid])) < post {
+		if key[row[mid]] < k {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -479,11 +478,11 @@ func lowerBound(row []int32, post int, postOf func(int) int) int {
 	return lo
 }
 
-func upperBound(row []int32, post int, postOf func(int) int) int {
+func upperBound(row []int32, k int, key []int) int {
 	lo, hi := 0, len(row)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if postOf(int(row[mid])) <= post {
+		if key[row[mid]] <= k {
 			lo = mid + 1
 		} else {
 			hi = mid

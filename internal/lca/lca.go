@@ -41,6 +41,13 @@ func NewWith(t *tree.Tree, mach *pram.Machine) *Index {
 	return ix
 }
 
+// Tree returns the tree the index currently answers for — the t of the
+// latest Rebuild. Owners that rebuild trees in place (ReuseTree maintainers)
+// get the same pointer back across renumberings; consistency checks should
+// therefore pair it with a freshness invariant of their own, the way
+// dstruct.CheckSynced audits the index against D's order keys.
+func (ix *Index) Tree() *tree.Tree { return ix.t }
+
 // RebuildWith is Rebuild with a replacement worker pool, for owners whose
 // machine changes across rebuilds (dstruct.D threads its build machine
 // through so the embedded index never stays pinned to a retired pool).

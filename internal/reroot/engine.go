@@ -91,13 +91,22 @@ type Engine struct {
 
 	parent  []int
 	visited []bool
-	n0      int // size of the subtree currently being rerooted
+	scratch *Scratch // owns the moved-vertex accumulator (reused by the maintainer)
+	n0      int      // size of the subtree currently being rerooted
 
 	// Sequential disables the phase/stage scheduler and consumes every
 	// component with the plain walk-to-the-root traversal — the sequential
 	// rerooting of Baswana et al. (SODA 2016) that the paper parallelizes.
 	// Used as the Õ(n)-per-update baseline.
 	Sequential bool
+
+	// TrackMoved opts in to moved-vertex accumulation (Moved): every Reroot
+	// and re-hanging SetParent then records the old-tree vertex set of the
+	// subtree it relocates. Off by default — owners that never consume the
+	// set (the streaming maintainer, fault-tolerant mode, the full-rebuild
+	// baseline) must not pay its O(|subtree|) walks. Set it before the first
+	// Reroot/SetParent call.
+	TrackMoved bool
 
 	Stats Stats
 
@@ -108,11 +117,13 @@ type Engine struct {
 
 // Scratch holds the per-update buffers of an engine so a maintainer can
 // reuse them across updates instead of reallocating (parent copy + visited
-// mask, the last per-update allocations after the D/LCA/tree reuse). A
-// Scratch must not be shared by engines running concurrently.
+// mask + moved-vertex accumulator, the last per-update allocations after the
+// D/LCA/tree reuse). A Scratch must not be shared by engines running
+// concurrently.
 type Scratch struct {
 	parent  []int
 	visited []bool
+	moved   []int
 }
 
 // New creates an engine that writes rerooted parent assignments over a copy
@@ -133,6 +144,7 @@ func NewWithScratch(t *tree.Tree, l *lca.Index, d Oracle, m *pram.Machine, s *Sc
 	}
 	n := t.N()
 	s.parent = append(s.parent[:0], t.Parent...)
+	s.moved = s.moved[:0]
 	if cap(s.visited) >= n {
 		s.visited = s.visited[:n]
 		clear(s.visited)
@@ -146,6 +158,7 @@ func NewWithScratch(t *tree.Tree, l *lca.Index, d Oracle, m *pram.Machine, s *Sc
 		M:       m,
 		parent:  s.parent,
 		visited: s.visited,
+		scratch: s,
 	}
 }
 
@@ -155,8 +168,33 @@ func NewWithScratch(t *tree.Tree, l *lca.Index, d Oracle, m *pram.Machine, s *Sc
 func (e *Engine) Parent() []int { return e.parent }
 
 // SetParent records an externally decided T* edge (used by the reduction
-// algorithm for, e.g., the inserted vertex).
-func (e *Engine) SetParent(v, p int) { e.parent[v] = p }
+// algorithm for, e.g., the inserted vertex). A re-hung subtree (parent
+// actually changing) joins the moved set, as does a vertex the base tree has
+// never numbered; detaching a vertex (p == tree.None, the deleted vertex)
+// does not — its entries leave D through the deletion patches instead.
+func (e *Engine) SetParent(v, p int) {
+	e.parent[v] = p
+	if !e.TrackMoved || p == tree.None {
+		return
+	}
+	if v < e.T.N() && e.T.Present(v) {
+		if e.T.Parent[v] != p {
+			e.scratch.moved = e.T.SubtreeVertices(v, e.scratch.moved)
+		}
+	} else {
+		e.scratch.moved = append(e.scratch.moved, v)
+	}
+}
+
+// Moved returns the vertices whose root path this engine's reroots and
+// reassignments changed — the old-tree vertex set of every rerooted or
+// re-hung subtree plus newly attached vertices. Only these can change
+// relative position in the new tree's post-order (children are ordered by ID
+// on both sides), which is exactly what dstruct.D.Update needs to reposition
+// entries incrementally. Empty unless TrackMoved was set. The slice is owned
+// by the engine's Scratch; callers must consume it before the next update
+// reuses the buffers.
+func (e *Engine) Moved() []int { return e.scratch.moved }
 
 // Reroot rebuilds the subtree T(r0) as a DFS tree rooted at rstar, hanging
 // rstar under attachParent in T*. attachParent may be tree.None when the
@@ -164,6 +202,10 @@ func (e *Engine) SetParent(v, p int) { e.parent[v] = p }
 func (e *Engine) Reroot(r0, rstar, attachParent int) error {
 	if !e.T.IsAncestor(r0, rstar) {
 		return fmt.Errorf("reroot: new root %d not in T(%d)", rstar, r0)
+	}
+	// Everything in the rerooted subtree may change relative post-order.
+	if e.TrackMoved {
+		e.scratch.moved = e.T.SubtreeVertices(r0, e.scratch.moved)
 	}
 	e.n0 = e.T.Size(r0)
 	root := &Comp{

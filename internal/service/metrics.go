@@ -10,16 +10,24 @@ type ShardMetrics struct {
 	QueueCap   int
 	Updates    uint64 // updates applied since start
 	Rejected   uint64 // updates the maintainer rejected
-	// UpdatesPerSec is the lifetime average rate of the shard's loop.
+	// UpdatesPerSec is the shard loop's applied-update rate over the window
+	// since the previous Metrics call (all callers share one window per
+	// shard). The first sample has no previous call, so it reports the
+	// lifetime average since shard start; subsequent samples are true
+	// deltas, so a stalled shard decays to 0 on the next poll instead of
+	// coasting on its lifetime average forever.
 	UpdatesPerSec float64
 	// OldestSnapshotAge is the age of the stalest published snapshot among
 	// the shard's graphs (0 when the shard has none): how far behind the
 	// slowest tenant's readers can be.
 	OldestSnapshotAge time.Duration
 	// PRAMDepth/PRAMWork are the machine's merged model costs across every
-	// maintainer on the shard.
+	// maintainer on the shard; PRAMProcs is the machine's current model
+	// processor budget (the per-instance maximum over the shard's graphs,
+	// recomputed when a tenant is dropped).
 	PRAMDepth int64
 	PRAMWork  int64
+	PRAMProcs int
 	// Index-cache counters of the shard's snapshot analytics engine:
 	// IndexCacheHits/Misses count Query resolutions served from / added to
 	// the per-shard LRU of derived-index bundles, IndexCacheEvictions the
@@ -67,11 +75,22 @@ func (s *Service) Metrics() Metrics {
 			}
 		}
 		sh.mu.RUnlock()
+		// Load the counter inside the sample lock so concurrent Metrics
+		// callers record monotone (time, count) pairs: a stale count stored
+		// after a newer one would make the next delta underflow.
+		sh.sampleMu.Lock()
 		updates := sh.updates.Load()
-		elapsed := now.Sub(sh.started).Seconds()
+		prevAt, prevCount := sh.sampledAt, sh.sampledCount
+		sh.sampledAt, sh.sampledCount = now, updates
+		sh.sampleMu.Unlock()
+		if prevAt.IsZero() {
+			// First sample: no previous call to delta against, so the window
+			// is the shard's whole lifetime.
+			prevAt, prevCount = sh.started, 0
+		}
 		rate := 0.0
-		if elapsed > 0 {
-			rate = float64(updates) / elapsed
+		if elapsed := now.Sub(prevAt).Seconds(); elapsed > 0 {
+			rate = float64(updates-prevCount) / elapsed
 		}
 		qs := sh.qcache.Stats()
 		out.Shards[i] = ShardMetrics{
@@ -85,6 +104,7 @@ func (s *Service) Metrics() Metrics {
 			OldestSnapshotAge:   oldest,
 			PRAMDepth:           sh.mach.Depth(),
 			PRAMWork:            sh.mach.Work(),
+			PRAMProcs:           sh.mach.Procs(),
 			IndexCacheHits:      qs.Hits,
 			IndexCacheMisses:    qs.Misses,
 			IndexCacheEvictions: qs.Evictions,

@@ -100,13 +100,15 @@ func (s *Service) NumShards() int { return len(s.shards) }
 
 func (s *Service) shardFor(id GraphID) *shard {
 	// Inline FNV-1a: the hash.Hash32 route would heap-allocate on every
-	// lock-free read.
+	// lock-free read. Reduce in uint32 space: converting the hash to int
+	// first would overflow to a negative index on 32-bit platforms whenever
+	// the high bit is set.
 	h := uint32(2166136261)
 	for i := 0; i < len(id); i++ {
 		h ^= uint32(id[i])
 		h *= 16777619
 	}
-	return s.shards[int(h)%len(s.shards)]
+	return s.shards[int(h%uint32(len(s.shards)))]
 }
 
 // CreateGraph registers g under id on its shard and waits for the initial

@@ -74,6 +74,13 @@ type shard struct {
 	updates  atomic.Uint64 // successfully applied updates
 	rejected atomic.Uint64 // updates rejected by the maintainer
 	started  time.Time
+
+	// sampleMu guards the previous Metrics() sample that the windowed
+	// UpdatesPerSec rate is computed against. All Metrics callers share one
+	// window per shard.
+	sampleMu     sync.Mutex
+	sampledAt    time.Time // zero until the first Metrics() call
+	sampledCount uint64
 }
 
 // submit enqueues t unless the shard is closed. It blocks while the mailbox
@@ -137,6 +144,21 @@ func (sh *shard) handle(t task, headroom int) {
 		delete(sh.graphs, t.id)
 		sh.mu.Unlock()
 		sh.qcache.DropGraph(string(t.id))
+		// taskCreate grew the machine's model processor budget to the
+		// per-instance maximum; recompute it over the survivors so model
+		// depth charges stop being divided by a departed tenant's m. The
+		// maintainers are only touched by this goroutine, so reading their
+		// current graphs here is race-free.
+		procs := 1
+		sh.mu.RLock()
+		for _, rest := range sh.graphs {
+			g := rest.dd.Frozen()
+			if p := 2*g.NumEdges() + g.NumVertexSlots() + 1; p > procs {
+				procs = p
+			}
+		}
+		sh.mu.RUnlock()
+		sh.mach.SetProcs(procs)
 		t.fut.resolve(-1, gs.snap.Load(), nil)
 
 	case taskApply:

@@ -194,6 +194,16 @@ func (t *Tree) Children(v int) []int { return t.children[v] }
 // Post returns the post-order index of v (unique in 0..Live-1).
 func (t *Tree) Post(v int) int { return t.post[v] }
 
+// PostInto copies the post-order numbering into dst, reallocating only when
+// dst lacks capacity: dst[v] = Post(v), -1 for holes. The incremental D
+// maintenance path uses it to refresh its relocatable order keys in one bulk
+// pass after a reroot has renumbered the tree.
+func (t *Tree) PostInto(dst []int) []int {
+	dst = resizeInts(dst, len(t.post))
+	copy(dst, t.post)
+	return dst
+}
+
 // Pre returns the pre-order (DFS entry) index of v.
 func (t *Tree) Pre(v int) int { return t.pre[v] }
 
