@@ -235,5 +235,12 @@ func main() {
 			idxQueries.Load(), float64(idxQueries.Load())/secs,
 			100*float64(m.IndexCacheHits)/float64(lookups), lookups,
 			m.IndexCacheEvictions, m.IndexBuilds, m.IndexBuildTime.Round(time.Microsecond))
+		meanPatch := time.Duration(0)
+		if m.IndexPatches > 0 {
+			meanPatch = m.IndexPatchTime / time.Duration(m.IndexPatches)
+		}
+		fmt.Printf("index maintenance: %d patched vs %d fresh-built (%d fallbacks), mean patch %v\n",
+			m.IndexPatches, m.IndexBuilds, m.IndexPatchFallbacks,
+			meanPatch.Round(time.Microsecond))
 	}
 }

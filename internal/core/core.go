@@ -59,6 +59,30 @@ type Update struct {
 	Neighbors []int
 }
 
+// Delta describes how one applied update changed the DFS tree, retained on
+// the update result for downstream consumers: the serving layer stamps it
+// onto published snapshots so the analytics engine can patch its derived
+// indexes version-to-version instead of rebuilding them (the same
+// information dstruct.D.Update consumes to maintain D incrementally). A
+// Delta is immutable: the maintainer copies the engine's scratch-owned
+// accumulators before the next update reuses them.
+type Delta struct {
+	// Moved lists the vertices whose root path changed: the old-tree vertex
+	// sets of every rerooted or re-hung subtree plus newly attached vertices.
+	// Every other present vertex keeps its parent, its level, and its
+	// relative pre/post order — the reduction argument the incremental
+	// consumers rely on.
+	Moved []int
+	// Removed lists the vertices the update deleted from the tree (the
+	// deleted vertex of a DeleteVertex update). They appear in the previous
+	// tree but not the new one, and never appear in Moved.
+	Removed []int
+	// SameTree declares that the tree object and its numbering are exactly
+	// as before the update (a back-edge insert or delete): only the graph's
+	// edge set changed.
+	SameTree bool
+}
+
 // Options configure a DynamicDFS.
 type Options struct {
 	// RebuildD controls whether D is refreshed after every update (fully
@@ -107,6 +131,8 @@ type DynamicDFS struct {
 	sequential   bool
 	reuseTree    bool
 	lastStats    reroot.Stats
+	lastDelta    *Delta // nil when the last update yielded no usable delta
+	relocated    bool   // pseudo root relocated during the in-flight update
 	updates      int
 
 	qstats  dstruct.Stats // query search effort accumulated across updates
@@ -200,6 +226,14 @@ func (dd *DynamicDFS) Machine() *pram.Machine { return dd.m }
 // LastStats returns the rerooting statistics of the most recent update.
 func (dd *DynamicDFS) LastStats() reroot.Stats { return dd.lastStats }
 
+// LastDelta returns the immutable tree delta of the most recent update, or
+// nil when no usable delta exists: before the first update, in the
+// full-rebuild and fault-tolerant modes (which do not track the moved set),
+// after a pseudo-root relocation (the whole numbering changed), and after an
+// error-recovery rebuild. Callers may retain the returned Delta across later
+// updates.
+func (dd *DynamicDFS) LastDelta() *Delta { return dd.lastDelta }
+
 // QueryStats returns the D-query search effort accumulated over every
 // update processed so far (each update's engine threads a per-call
 // accumulator through the oracle; the maintainer rolls them up here).
@@ -270,10 +304,13 @@ func (dd *DynamicDFS) finish(e *reroot.Engine) error {
 			// ResultInto mutates dd.t in place before failing; unlike the
 			// fresh-tree path the old tree is gone, so recover a valid DFS
 			// tree of the (already mutated) graph from scratch rather than
-			// leaving the maintainer poisoned.
+			// leaving the maintainer poisoned. The recovery renumbers the
+			// whole tree outside any tracked delta, so no incremental
+			// consumer may patch across it.
 			dd.rebuildTreeFromScratch()
 			dd.d.Rebuild(dd.g, dd.t, dd.m)
 			dd.l = dd.d.LCA
+			dd.lastDelta = nil
 		}
 	} else {
 		nt, err = e.Result(dd.pseudo, dd.present())
@@ -281,7 +318,7 @@ func (dd *DynamicDFS) finish(e *reroot.Engine) error {
 	if err != nil {
 		return fmt.Errorf("core: rebuilding tree: %w", err)
 	}
-	dd.installTree(nt, e.Moved(), false)
+	dd.installTree(nt, e.Moved(), e.Removed(), false)
 	dd.lastStats = e.Stats
 	dd.qstats.Add(e.QStats)
 	return nil
@@ -289,10 +326,16 @@ func (dd *DynamicDFS) finish(e *reroot.Engine) error {
 
 // installTree makes nt the current tree and refreshes the derived
 // structures. moved is the engine's moved-vertex set (the only vertices
-// whose relative post-order can differ from the previous tree); sameTree is
-// set by the back-edge fast paths, where the tree object and its numbering
-// are untouched and D only needs to absorb the update's patches.
-func (dd *DynamicDFS) installTree(nt *tree.Tree, moved []int, sameTree bool) {
+// whose relative post-order can differ from the previous tree), removed the
+// vertices the update deleted from the tree; sameTree is set by the
+// back-edge fast paths, where the tree object and its numbering are
+// untouched and D only needs to absorb the update's patches. It also stamps
+// dd.lastDelta for downstream incremental consumers: moved/removed are
+// copied (they alias the engine's per-update scratch), and the delta is
+// withheld entirely in the modes that do not track the moved set and across
+// a pseudo-root relocation, whose renaming invalidates the locality
+// argument.
+func (dd *DynamicDFS) installTree(nt *tree.Tree, moved, removed []int, sameTree bool) {
 	dd.t = nt
 	dd.updates++
 	if dd.rebuildD {
@@ -314,6 +357,16 @@ func (dd *DynamicDFS) installTree(nt *tree.Tree, moved []int, sameTree bool) {
 		// engine-facing index is a separate buffer rebuilt on the new tree.
 		dd.l.Rebuild(dd.t)
 	}
+	if dd.rebuildD && !dd.fullRebuildD && !dd.relocated {
+		dd.lastDelta = &Delta{
+			Moved:    append([]int(nil), moved...),
+			Removed:  append([]int(nil), removed...),
+			SameTree: sameTree,
+		}
+	} else {
+		dd.lastDelta = nil
+	}
+	dd.relocated = false
 }
 
 // engine creates a rerooting engine for the current tree, drawing its
@@ -331,6 +384,10 @@ func (dd *DynamicDFS) engine() *reroot.Engine {
 // headroom, renaming it in the tree (all other vertex IDs are stable) and
 // rebuilding the derived structures.
 func (dd *DynamicDFS) relocatePseudo() {
+	// Relocation renames the root and renumbers the whole tree; the in-flight
+	// update's moved set no longer bounds what changed, so its delta is
+	// withheld (the flag is consumed by installTree at the end of the update).
+	dd.relocated = true
 	oldPseudo := dd.pseudo
 	dd.headroom *= 2
 	dd.pseudo = dd.g.NumVertexSlots() + dd.headroom

@@ -28,6 +28,7 @@ func (dd *DynamicDFS) Apply(u Update) (int, error) {
 // subtree of w containing v is rerooted at v and hung from u. The case
 // w = pseudo root covers merging two components.
 func (dd *DynamicDFS) InsertEdge(u, v int) error {
+	dd.lastDelta = nil // re-established by installTree on success
 	ng, err := dd.g.InsertEdge(u, v)
 	if err != nil {
 		return err
@@ -38,7 +39,7 @@ func (dd *DynamicDFS) InsertEdge(u, v int) error {
 	if w == u || w == v {
 		// Back edge: no restructuring — D just absorbs the edge patch.
 		dd.lastStats = reroot.Stats{}
-		dd.installTree(dd.t, nil, true)
+		dd.installTree(dd.t, nil, nil, true)
 		return nil
 	}
 	vPrime := dd.t.ChildToward(w, v)
@@ -54,6 +55,7 @@ func (dd *DynamicDFS) InsertEdge(u, v int) error {
 // inside endpoint of the deepest edge from T(v) to path(u, root of u's
 // component), or hangs T(v) under the pseudo root if the component split.
 func (dd *DynamicDFS) DeleteEdge(u, v int) error {
+	dd.lastDelta = nil // re-established by installTree on success
 	isTree := dd.t.Parent[v] == u || dd.t.Parent[u] == v
 	ng, err := dd.g.DeleteEdge(u, v)
 	if err != nil {
@@ -64,7 +66,7 @@ func (dd *DynamicDFS) DeleteEdge(u, v int) error {
 	if !isTree {
 		// Back edge: no restructuring — D just absorbs the edge patch.
 		dd.lastStats = reroot.Stats{}
-		dd.installTree(dd.t, nil, true)
+		dd.installTree(dd.t, nil, nil, true)
 		return nil
 	}
 	if dd.t.Parent[u] == v {
@@ -87,6 +89,7 @@ func (dd *DynamicDFS) DeleteEdge(u, v int) error {
 // deleted vertex u is independently rerooted via its deepest edge to
 // path(parent(u), component root), or becomes a new component.
 func (dd *DynamicDFS) DeleteVertex(u int) error {
+	dd.lastDelta = nil // re-established by installTree on success
 	if !dd.g.IsVertex(u) {
 		return fmt.Errorf("core: delete of non-vertex %d", u)
 	}
@@ -129,6 +132,7 @@ func (dd *DynamicDFS) DeleteVertex(u int) error {
 // neighbors in the same hanging subtree share one reroot (the extra edges
 // become back edges).
 func (dd *DynamicDFS) InsertVertex(neighbors []int) (int, error) {
+	dd.lastDelta = nil // re-established by installTree on success
 	if dd.g.NumVertexSlots()+1 >= dd.pseudo {
 		// The next ID would collide with the pseudo root. In fully dynamic
 		// mode D is rebuilt per update anyway, so relocate the pseudo root

@@ -117,13 +117,14 @@ type Engine struct {
 
 // Scratch holds the per-update buffers of an engine so a maintainer can
 // reuse them across updates instead of reallocating (parent copy + visited
-// mask + moved-vertex accumulator, the last per-update allocations after the
-// D/LCA/tree reuse). A Scratch must not be shared by engines running
-// concurrently.
+// mask + moved/removed-vertex accumulators, the last per-update allocations
+// after the D/LCA/tree reuse). A Scratch must not be shared by engines
+// running concurrently.
 type Scratch struct {
 	parent  []int
 	visited []bool
 	moved   []int
+	removed []int
 }
 
 // New creates an engine that writes rerooted parent assignments over a copy
@@ -145,6 +146,7 @@ func NewWithScratch(t *tree.Tree, l *lca.Index, d Oracle, m *pram.Machine, s *Sc
 	n := t.N()
 	s.parent = append(s.parent[:0], t.Parent...)
 	s.moved = s.moved[:0]
+	s.removed = s.removed[:0]
 	if cap(s.visited) >= n {
 		s.visited = s.visited[:n]
 		clear(s.visited)
@@ -171,10 +173,18 @@ func (e *Engine) Parent() []int { return e.parent }
 // algorithm for, e.g., the inserted vertex). A re-hung subtree (parent
 // actually changing) joins the moved set, as does a vertex the base tree has
 // never numbered; detaching a vertex (p == tree.None, the deleted vertex)
-// does not — its entries leave D through the deletion patches instead.
+// joins the removed set instead — its D entries leave through the deletion
+// patches, but downstream index maintenance still needs to know the vertex
+// left the tree.
 func (e *Engine) SetParent(v, p int) {
 	e.parent[v] = p
-	if !e.TrackMoved || p == tree.None {
+	if !e.TrackMoved {
+		return
+	}
+	if p == tree.None {
+		if v < e.T.N() && e.T.Present(v) {
+			e.scratch.removed = append(e.scratch.removed, v)
+		}
 		return
 	}
 	if v < e.T.N() && e.T.Present(v) {
@@ -195,6 +205,12 @@ func (e *Engine) SetParent(v, p int) {
 // by the engine's Scratch; callers must consume it before the next update
 // reuses the buffers.
 func (e *Engine) Moved() []int { return e.scratch.moved }
+
+// Removed returns the vertices this engine detached from the tree (SetParent
+// to tree.None — the deleted vertex of a DeleteVertex update). Like Moved, it
+// is empty unless TrackMoved was set and is owned by the engine's Scratch;
+// callers must consume it before the next update reuses the buffers.
+func (e *Engine) Removed() []int { return e.scratch.removed }
 
 // Reroot rebuilds the subtree T(r0) as a DFS tree rooted at rstar, hanging
 // rstar under attachParent in T*. attachParent may be tree.None when the

@@ -1,0 +1,209 @@
+package service
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// TestSnapshotDeltaPlumbing verifies the published delta chain end-to-end:
+// the first snapshot ships without one, each later snapshot names its
+// parent version and tree, back-edge rounds are flagged SameTree, batch
+// rounds compose several updates into one delta, and a rejected update
+// poisons the round so the next snapshot falls back to a fresh chain.
+func TestSnapshotDeltaPlumbing(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.GnpConnected(60, 0.08, rng)
+	svc := New(Config{Shards: 1})
+	defer svc.Close()
+
+	snap0, err := svc.CreateGraph("g", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap0.Delta != nil {
+		t.Fatal("first snapshot carries a delta")
+	}
+
+	// A tree restructuring update must publish a delta naming its parent.
+	tr := snap0.Tree
+	var u, v int
+	found := false
+	for x := 0; x < g.NumVertexSlots() && !found; x++ {
+		for y := x + 1; y < g.NumVertexSlots() && !found; y++ {
+			if !g.HasEdge(x, y) && !tr.IsAncestor(x, y) && !tr.IsAncestor(y, x) {
+				u, v, found = x, y, true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no cross edge candidate")
+	}
+	fut, err := svc.Apply("g", core.Update{Kind: core.InsertEdge, U: u, V: v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, snap1, err := fut.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := snap1.Delta
+	if d == nil {
+		t.Fatal("restructuring update published no delta")
+	}
+	if d.Parent != snap0.Version || d.ParentTree != snap0.Tree {
+		t.Fatalf("delta parent = (%d,%p), want (%d,%p)", d.Parent, d.ParentTree, snap0.Version, snap0.Tree)
+	}
+	if d.SameTree || len(d.Moved) == 0 {
+		t.Fatalf("delta = %+v, want moved set from cross-edge insert", d)
+	}
+
+	// A back edge (ancestor-descendant pair) publishes a SameTree delta.
+	tr = snap1.Tree
+	found = false
+	for x := 0; x < g.NumVertexSlots() && !found; x++ {
+		for y := 0; y < g.NumVertexSlots() && !found; y++ {
+			if x != y && x != snap1.PseudoRoot && tr.Present(x) && tr.Present(y) &&
+				tr.IsAncestor(x, y) && !snap1.Graph.HasEdge(x, y) {
+				u, v, found = x, y, true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no back edge candidate")
+	}
+	fut, err = svc.Apply("g", core.Update{Kind: core.InsertEdge, U: u, V: v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, snap2, err := fut.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := snap2.Delta; d == nil || !d.SameTree || d.Parent != snap1.Version {
+		t.Fatalf("back-edge delta = %+v, want SameTree with parent %d", d, snap1.Version)
+	}
+	if snap2.Tree != snap1.Tree {
+		t.Fatal("back-edge update replaced the tree object")
+	}
+
+	// A batch round publishes once: its delta spans both updates.
+	futs, err := svc.ApplyBatch([]BatchItem{
+		{Graph: "g", Update: core.Update{Kind: core.InsertVertex, Neighbors: []int{1, 7}}},
+		{Graph: "g", Update: core.Update{Kind: core.InsertVertex, Neighbors: []int{2}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap3 *Snapshot
+	for _, f := range futs {
+		if _, s, err := f.Wait(); err != nil {
+			t.Fatal(err)
+		} else {
+			snap3 = s
+		}
+	}
+	if snap3.Version != snap2.Version+2 {
+		t.Fatalf("batch snapshot version %d, want %d", snap3.Version, snap2.Version+2)
+	}
+	if d := snap3.Delta; d == nil || d.Parent != snap2.Version || d.SameTree || len(d.Moved) < 2 {
+		t.Fatalf("batch delta = %+v, want composed moved set with parent %d", d, snap2.Version)
+	}
+
+	// A rejected update poisons the pending round: the next successful
+	// publish must ship without a delta (the chain restarts fresh).
+	fut, err = svc.Apply("g", core.Update{Kind: core.InsertEdge, U: u, V: v}) // duplicate edge
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fut.Wait(); err == nil {
+		t.Fatal("duplicate edge insert was accepted")
+	}
+	fut, err = svc.Apply("g", core.Update{Kind: core.DeleteEdge, U: u, V: v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, snap4, err := fut.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap4.Delta != nil {
+		t.Fatal("snapshot after a rejected update still carries a delta")
+	}
+
+	// And the chain resumes on the following clean update.
+	fut, err = svc.Apply("g", core.Update{Kind: core.InsertEdge, U: u, V: v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, snap5, err := fut.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := snap5.Delta; d == nil || d.Parent != snap4.Version {
+		t.Fatalf("chain did not resume: delta = %+v, want parent %d", d, snap4.Version)
+	}
+}
+
+// TestQueryPatchesAcrossVersions drives the full read path: warming one
+// version's handle then querying the next version must patch, not rebuild,
+// and the patched answers must match naive recomputation.
+func TestQueryPatchesAcrossVersions(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := graph.GnpConnected(200, 0.025, rng)
+	svc := New(Config{Shards: 1})
+	defer svc.Close()
+	if _, err := svc.CreateGraph("g", g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := svc.Query("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Warm()
+	base := svc.Metrics()
+	if base.IndexPatches != 0 {
+		t.Fatalf("patches=%d before any derived version", base.IndexPatches)
+	}
+
+	for i := 0; i < 8; i++ {
+		snap, err := svc.Snapshot("g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Delete a leaf-ish tree edge: small moved set, patchable.
+		tr := snap.Tree
+		var leaf int
+		for v := 0; v < g.NumVertexSlots(); v++ {
+			if tr.Present(v) && v != snap.PseudoRoot && len(tr.Children(v)) == 0 {
+				leaf = v
+				break
+			}
+		}
+		fut, err := svc.Apply("g", core.Update{Kind: core.DeleteVertex, U: leaf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := fut.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		nh, err := svc.Query("g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nh.Warm()
+		if err := nh.CheckSynced(); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		checkHandleAgainstPinned(t, nh, rng, "patched")
+	}
+	m := svc.Metrics()
+	if m.IndexPatches == 0 {
+		t.Fatal("consecutive version queries never patched")
+	}
+	if m.IndexPatchTime <= 0 {
+		t.Fatal("patch time not accounted")
+	}
+}

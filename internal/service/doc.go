@@ -44,6 +44,28 @@
 // BiconnectedComponentOf, SameBiconnectedComponent) from derived indexes
 // built over the pinned snapshot.
 //
+// The read path is differential. Every published Snapshot carries a Delta —
+// the parent version it was derived from, the parent's tree object (an
+// identity check, not just a number), the composed moved/removed vertex
+// sets of the updates in between, and the back-edge SameTree flag. The
+// shard loop accumulates per-update deltas from the maintainer across batch
+// rounds and composes them at publication; a rejected update, a vertex-slot
+// renumbering, or an error-recovery rebuild poisons the pending round and
+// the next snapshot ships without a delta (the chain restarts fresh). When
+// a version is queried for the first time and its parent's handle is still
+// in the per-shard LRU, the tree indexes are patched from — or, for pure
+// detachments and back-edge rounds, shared with — the parent's immutable
+// arrays instead of being rebuilt, making first-query-on-new-version cost
+// proportional to the update's churn rather than the graph
+// (BenchmarkSnapshotQuery pins the patched path at ≥50× over the cold
+// build for low-churn updates, with allocations proportional to the moved
+// set). Biconnectivity is outside the differential regime by design: low
+// points depend on the global back-edge structure, so that index is always
+// built fresh. The patch silently falls back to a fresh build when the
+// delta is missing or churn-heavy, the parent handle was evicted first, or
+// the parent's own tour is unspliceable; answers are identical either way,
+// and snapquery's CheckSynced is the oracle that proves it.
+//
 // Index sharing and lifetime guarantees:
 //
 //   - One handle per version. Every reader resolving the same (graph,
@@ -58,6 +80,10 @@
 //     path-copy away from them), so a handle obtained before k further
 //     updates still answers for its original version, consistent with the
 //     Snapshot it came from.
+//   - Version chains do not accumulate. A derived handle drops its parent
+//     reference as soon as its three patchable indexes materialize, so at
+//     most one extra generation is retained per handle still awaiting its
+//     first query.
 //   - Eviction never invalidates a held handle. The per-shard LRU
 //     (Config.QueryCache versions) bounds how many versions keep indexes
 //     resident; evicting a version only drops the cache's reference. A
@@ -67,10 +93,14 @@
 //   - DropGraph purges the dropped graph's cached versions; handles and
 //     snapshots already handed out stay valid. A graph re-created under a
 //     dropped ID cannot alias stale indexes — the cache detects the
-//     incarnation change and rebuilds.
+//     incarnation change, drops the stale entry, and never links a derived
+//     handle across incarnations.
 //
 // Metrics reports the cache behaviour per shard: IndexCacheHits/Misses/
-// Evictions/Size, IndexBuilds and IndexBuildTime.
+// Evictions/Dropped/Size, plus the build-vs-patch split — IndexBuilds and
+// IndexBuildTime against IndexPatches, IndexPatchTime and
+// IndexPatchFallbacks (fallbacks also count as builds, since that is the
+// work they did).
 //
 // # Stats threading
 //

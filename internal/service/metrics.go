@@ -31,16 +31,26 @@ type ShardMetrics struct {
 	// Index-cache counters of the shard's snapshot analytics engine:
 	// IndexCacheHits/Misses count Query resolutions served from / added to
 	// the per-shard LRU of derived-index bundles, IndexCacheEvictions the
-	// versions aged out (capacity or graph drop), IndexCacheSize the
-	// versions currently resident, IndexBuilds the individual index
+	// versions aged out by capacity, IndexCacheDropped the versions removed
+	// by a graph drop or a stale-incarnation collision, IndexCacheSize the
+	// versions currently resident. IndexBuilds counts fresh index
 	// constructions (≤ 4 per version: LCA, bicon, aggregates, lifting) and
-	// IndexBuildTime their summed wall-clock cost.
+	// IndexBuildTime their summed wall-clock cost; IndexPatches counts the
+	// index derivations that instead patched the parent version's arrays
+	// from the snapshot delta (IndexPatchTime their cost), and
+	// IndexPatchFallbacks the builds that had a parent on hand but declined
+	// the patch — churn past the ratio threshold or a renumbered vertex
+	// space (fallbacks are also included in IndexBuilds).
 	IndexCacheHits      uint64
 	IndexCacheMisses    uint64
 	IndexCacheEvictions uint64
+	IndexCacheDropped   uint64
 	IndexCacheSize      int
 	IndexBuilds         uint64
 	IndexBuildTime      time.Duration
+	IndexPatches        uint64
+	IndexPatchTime      time.Duration
+	IndexPatchFallbacks uint64
 }
 
 // Metrics aggregates the per-shard samples.
@@ -54,8 +64,12 @@ type Metrics struct {
 	IndexCacheHits      uint64
 	IndexCacheMisses    uint64
 	IndexCacheEvictions uint64
+	IndexCacheDropped   uint64
 	IndexBuilds         uint64
 	IndexBuildTime      time.Duration
+	IndexPatches        uint64
+	IndexPatchTime      time.Duration
+	IndexPatchFallbacks uint64
 }
 
 // Metrics samples every shard. It takes only read locks and never touches
@@ -108,9 +122,13 @@ func (s *Service) Metrics() Metrics {
 			IndexCacheHits:      qs.Hits,
 			IndexCacheMisses:    qs.Misses,
 			IndexCacheEvictions: qs.Evictions,
+			IndexCacheDropped:   qs.Dropped,
 			IndexCacheSize:      qs.Size,
 			IndexBuilds:         qs.Builds,
 			IndexBuildTime:      qs.BuildTime,
+			IndexPatches:        qs.Patches,
+			IndexPatchTime:      qs.PatchTime,
+			IndexPatchFallbacks: qs.PatchFallbacks,
 		}
 		out.Graphs += graphs
 		out.Updates += updates
@@ -119,8 +137,12 @@ func (s *Service) Metrics() Metrics {
 		out.IndexCacheHits += qs.Hits
 		out.IndexCacheMisses += qs.Misses
 		out.IndexCacheEvictions += qs.Evictions
+		out.IndexCacheDropped += qs.Dropped
 		out.IndexBuilds += qs.Builds
 		out.IndexBuildTime += qs.BuildTime
+		out.IndexPatches += qs.Patches
+		out.IndexPatchTime += qs.PatchTime
+		out.IndexPatchFallbacks += qs.PatchFallbacks
 	}
 	return out
 }

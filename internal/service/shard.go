@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,6 +46,42 @@ type batchEntry struct {
 type graphState struct {
 	dd   *core.DynamicDFS
 	snap atomic.Pointer[Snapshot]
+
+	// Pending tree delta accumulated since the last publish (shard loop
+	// only). A batch round applies several updates before publishing once,
+	// so the per-update core deltas are unioned here; any update without a
+	// usable delta (relocation, error recovery) poisons the round and the
+	// next snapshot ships without one.
+	pendMoved   []int
+	pendRemoved []int
+	pendSame    bool
+	pendInvalid bool
+	pendCount   int
+}
+
+// absorb folds one applied update's delta into the pending set.
+func (gs *graphState) absorb(d *core.Delta) {
+	if gs.pendCount == 0 {
+		gs.pendSame = true
+	}
+	gs.pendCount++
+	if d == nil {
+		gs.pendInvalid = true
+		return
+	}
+	if !d.SameTree {
+		gs.pendSame = false
+	}
+	gs.pendMoved = append(gs.pendMoved, d.Moved...)
+	gs.pendRemoved = append(gs.pendRemoved, d.Removed...)
+}
+
+// invalidatePending poisons the pending delta: called when an update was
+// rejected, because some rejection paths mutate state the delta cannot
+// account for (e.g. the in-place error recovery renumbers the whole tree).
+func (gs *graphState) invalidatePending() {
+	gs.pendCount++
+	gs.pendInvalid = true
 }
 
 // shard owns a set of graphs, the goroutine that applies their updates, and
@@ -170,10 +207,12 @@ func (sh *shard) handle(t task, headroom int) {
 		v, err := gs.dd.Apply(t.upd)
 		if err != nil {
 			sh.rejected.Add(1)
+			gs.invalidatePending()
 			t.fut.resolve(-1, gs.snap.Load(), err)
 			return
 		}
 		sh.updates.Add(1)
+		gs.absorb(gs.dd.LastDelta())
 		t.fut.resolve(v, sh.publish(t.id, gs), nil)
 
 	case taskBatch:
@@ -198,8 +237,10 @@ func (sh *shard) handle(t task, headroom int) {
 			v, err := gs.dd.Apply(en.upd)
 			if err != nil {
 				sh.rejected.Add(1)
+				gs.invalidatePending()
 			} else {
 				sh.updates.Add(1)
+				gs.absorb(gs.dd.LastDelta())
 				touched[en.id] = gs
 			}
 			resolutions = append(resolutions, resolution{fut: en.fut, vertex: v, gs: gs, err: err})
@@ -216,16 +257,32 @@ func (sh *shard) handle(t task, headroom int) {
 // publish freezes gs's current state into a new immutable snapshot and
 // installs it. Both the graph (a persistent copy-on-write version) and the
 // tree (persistent; ReuseTree off) are shared zero-copy, so publication is
-// O(1): a pointer grab per structure plus one small Snapshot allocation,
-// with no per-vertex or per-edge work regardless of graph size.
+// O(1) plus O(Δ) for stamping the pending tree delta: a pointer grab per
+// structure, one small Snapshot allocation, and a sort of the moved set —
+// no per-vertex or per-edge work regardless of graph size.
 func (sh *shard) publish(id GraphID, gs *graphState) *Snapshot {
 	dd := gs.dd
+	prev := gs.snap.Load()
+	var delta *Delta
+	if prev != nil && gs.pendCount > 0 && !gs.pendInvalid {
+		delta = &Delta{
+			Parent:     prev.Version,
+			ParentTree: prev.Tree,
+			Moved:      dedupSorted(gs.pendMoved),
+			Removed:    dedupSorted(gs.pendRemoved),
+			SameTree:   gs.pendSame,
+		}
+	}
+	gs.pendMoved = gs.pendMoved[:0]
+	gs.pendRemoved = gs.pendRemoved[:0]
+	gs.pendSame, gs.pendInvalid, gs.pendCount = false, false, 0
 	snap := &Snapshot{
 		ID:          id,
 		Version:     uint64(dd.Updates()),
 		Graph:       dd.Frozen(),
 		Tree:        dd.Tree(),
 		PseudoRoot:  dd.PseudoRoot(),
+		Delta:       delta,
 		LastStats:   dd.LastStats(),
 		QueryStats:  dd.QueryStats(),
 		PublishedAt: time.Now(),
@@ -234,10 +291,34 @@ func (sh *shard) publish(id GraphID, gs *graphState) *Snapshot {
 	return snap
 }
 
+// dedupSorted returns a fresh ascending, duplicate-free copy of s (nil when
+// empty), so published deltas never alias the reusable pending buffers.
+func dedupSorted(s []int) []int {
+	if len(s) == 0 {
+		return nil
+	}
+	out := append([]int(nil), s...)
+	sort.Ints(out)
+	j := 0
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[j] {
+			j++
+			out[j] = out[i]
+		}
+	}
+	return out[:j+1]
+}
+
 // queryHandle resolves snap's version-pinned analytics handle through the
-// shard's index cache (shared by all readers of that version).
+// shard's index cache (shared by all readers of that version), forwarding
+// the snapshot's parent delta so a first query on a new version patches the
+// parent's indexes when that version is still cached.
 func (sh *shard) queryHandle(snap *Snapshot) *snapquery.Handle {
-	return sh.qcache.Handle(
-		snapquery.Key{Graph: string(snap.ID), Version: snap.Version},
-		snap.Graph, snap.Tree, snap.PseudoRoot)
+	key := snapquery.Key{Graph: string(snap.ID), Version: snap.Version}
+	if d := snap.Delta; d != nil {
+		return sh.qcache.HandleDerived(key, snap.Graph, snap.Tree, snap.PseudoRoot,
+			snapquery.Key{Graph: string(snap.ID), Version: d.Parent}, d.ParentTree,
+			snapquery.Delta{Moved: d.Moved, Removed: d.Removed, SameTree: d.SameTree})
+	}
+	return sh.qcache.Handle(key, snap.Graph, snap.Tree, snap.PseudoRoot)
 }

@@ -31,12 +31,16 @@ type Cache struct {
 	lru   *list.List // of *Handle; front = most recently used
 	byKey map[Key]*list.Element
 
-	hits       atomic.Uint64
-	misses     atomic.Uint64
-	evictions  atomic.Uint64
-	builds     atomic.Uint64
-	buildNanos atomic.Int64
-	size       atomic.Int64 // mirrors lru.Len() so Stats never takes mu
+	hits           atomic.Uint64
+	misses         atomic.Uint64
+	evictions      atomic.Uint64
+	dropped        atomic.Uint64
+	builds         atomic.Uint64
+	buildNanos     atomic.Int64
+	patches        atomic.Uint64
+	patchNanos     atomic.Int64
+	patchFallbacks atomic.Uint64
+	size           atomic.Int64 // mirrors lru.Len() so Stats never takes mu
 }
 
 // NewCache creates a cache retaining up to capacity versions
@@ -55,15 +59,36 @@ func NewCache(capacity int) *Cache {
 // Capacity returns the maximum number of retained versions.
 func (c *Cache) Capacity() int { return c.capacity }
 
-func (c *Cache) observe(d time.Duration) {
-	c.builds.Add(1)
-	c.buildNanos.Add(int64(d))
+func (c *Cache) observe(outcome buildOutcome, d time.Duration) {
+	switch outcome {
+	case outcomePatch:
+		c.patches.Add(1)
+		c.patchNanos.Add(int64(d))
+	case outcomeFallback:
+		c.patchFallbacks.Add(1)
+		c.builds.Add(1)
+		c.buildNanos.Add(int64(d))
+	default:
+		c.builds.Add(1)
+		c.buildNanos.Add(int64(d))
+	}
 }
 
 // Handle returns the cached handle for key, creating (and caching) it from
 // the supplied frozen snapshot parts on first use. The hit path is a map
 // lookup plus an LRU bump — no allocation, no index work.
 func (c *Cache) Handle(key Key, g graph.Adjacency, t *tree.Tree, pseudo int) *Handle {
+	return c.HandleDerived(key, g, t, pseudo, Key{}, nil, Delta{})
+}
+
+// HandleDerived is Handle for a version carrying its parent delta: when the
+// handle must be created and the parent version's handle is still cached
+// over the expected tree (parentTree is the incarnation check — a
+// dropped-and-recreated graph colliding on both versions cannot slip a
+// foreign tree in), the new handle is linked to it so its indexes patch
+// rather than rebuild. A missing or stale parent entry silently degrades to
+// the fresh-build path. parentTree nil means no delta is available.
+func (c *Cache) HandleDerived(key Key, g graph.Adjacency, t *tree.Tree, pseudo int, parentKey Key, parentTree *tree.Tree, delta Delta) *Handle {
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
 		h := el.Value.(*Handle)
@@ -77,10 +102,18 @@ func (c *Cache) Handle(key Key, g graph.Adjacency, t *tree.Tree, pseudo int) *Ha
 		// whose version counter collided. Evict the stale incarnation.
 		c.lru.Remove(el)
 		delete(c.byKey, key)
-		c.evictions.Add(1)
+		c.dropped.Add(1)
 		c.size.Add(-1)
 	}
-	h := &Handle{key: key, g: g, t: t, pseudo: pseudo, onBuild: c.observe}
+	h := &Handle{key: key, g: g, t: t, pseudo: pseudo, observe: c.observe}
+	if parentTree != nil {
+		if pel, ok := c.byKey[parentKey]; ok {
+			if ph := pel.Value.(*Handle); ph.t == parentTree {
+				h.delta = delta
+				h.parent.Store(ph)
+			}
+		}
+	}
 	c.byKey[key] = c.lru.PushFront(h)
 	c.size.Add(1)
 	for c.lru.Len() > c.capacity {
@@ -106,32 +139,48 @@ func (c *Cache) DropGraph(graphName string) {
 		if h.key.Graph == graphName {
 			c.lru.Remove(el)
 			delete(c.byKey, h.key)
-			c.evictions.Add(1)
+			c.dropped.Add(1)
 			c.size.Add(-1)
 		}
 	}
 	c.mu.Unlock()
 }
 
-// Stats is a point-in-time sample of the cache's counters.
+// Stats is a point-in-time sample of the cache's counters. Evictions counts
+// only capacity aging (the LRU is full and the oldest version falls off);
+// versions removed because their graph was dropped or because a
+// dropped-and-recreated graph collided on the same (graph, version) key —
+// a stale incarnation — count under Dropped instead. Builds counts fresh
+// index constructions (≤ 4 per version), Patches the index derivations
+// that reused a parent version's arrays, and PatchFallbacks the builds
+// that had a parent on hand but declined the patch (high churn or a
+// vertex-slot renumbering); fallbacks are also included in Builds.
 type Stats struct {
-	Hits      uint64 // Handle calls answered from the LRU
-	Misses    uint64 // Handle calls that created a new handle
-	Evictions uint64 // versions dropped (capacity or DropGraph)
-	Builds    uint64 // individual index constructions (≤ 4 per version)
-	BuildTime time.Duration
-	Size      int // versions currently retained
+	Hits           uint64 // Handle calls answered from the LRU
+	Misses         uint64 // Handle calls that created a new handle
+	Evictions      uint64 // versions aged out by capacity
+	Dropped        uint64 // versions removed by DropGraph or stale incarnation
+	Builds         uint64 // fresh index constructions (≤ 4 per version)
+	BuildTime      time.Duration
+	Patches        uint64 // index derivations patched from a parent version
+	PatchTime      time.Duration
+	PatchFallbacks uint64 // patches declined after inspecting the delta
+	Size           int    // versions currently retained
 }
 
 // Stats samples the counters. It is lock-free (atomics only), so metrics
 // polling never contends with the Handle hot path.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Builds:    c.builds.Load(),
-		BuildTime: time.Duration(c.buildNanos.Load()),
-		Size:      int(c.size.Load()),
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Evictions:      c.evictions.Load(),
+		Dropped:        c.dropped.Load(),
+		Builds:         c.builds.Load(),
+		BuildTime:      time.Duration(c.buildNanos.Load()),
+		Patches:        c.patches.Load(),
+		PatchTime:      time.Duration(c.patchNanos.Load()),
+		PatchFallbacks: c.patchFallbacks.Load(),
+		Size:           int(c.size.Load()),
 	}
 }

@@ -1,0 +1,214 @@
+package snapquery
+
+import (
+	"math/bits"
+
+	"repro/internal/tree"
+)
+
+// lcaBlock is the Euler-tour block width of the handle-local LCA index.
+// Range minima inside a block are found by a linear scan (≤ lcaBlock int32
+// compares, one cache line apiece); only the per-block minima carry a sparse
+// table, shrinking it by a factor of lcaBlock² versus a table over the full
+// tour. That makes both the fresh build and — the point of this layout — the
+// version-to-version patch cheap: a patch memcpys parent tour segments and
+// re-spans only the tiny block-level table.
+const lcaBlock = 32
+
+// lcaIndex answers LCA queries over one frozen tree via Euler tour + block
+// RMQ. All arrays are immutable after build/patch; handles of different
+// versions never share them (unlike SameTree versions, which share the whole
+// index).
+type lcaIndex struct {
+	tour     []int32   // Euler walk, 2·live-1 vertices when exact (see stale)
+	depth    []int32   // depth[i] = level of tour[i]
+	first    []int32   // first occurrence of v in tour; -1 for holes
+	blockMin []int32   // tour position of the min-depth entry of each block
+	sparse   [][]int32 // sparse[k][b]: min position over blocks [b, b+2^k)
+
+	// stale marks a tour shared across one or more pure detachments (moved
+	// set empty): it is the exact tour of an ancestor version and still
+	// answers every live query — removed vertices' leftover occurrences lie
+	// strictly below any live range minimum and are rejected as arguments
+	// before lookup — but its segment offsets no longer match the current
+	// tree, so it cannot serve as the base of a later splice.
+	stale bool
+}
+
+// buildLCAIndex constructs the index from scratch: one Euler walk plus the
+// block-minima span pass.
+func buildLCAIndex(t *tree.Tree) *lcaIndex {
+	n := t.N()
+	ix := &lcaIndex{first: make([]int32, n)}
+	for v := range ix.first {
+		ix.first[v] = -1
+	}
+	m := 2*t.Live() - 1
+	ix.tour = make([]int32, 0, m)
+	ix.depth = make([]int32, 0, m)
+	type frame struct{ v, ci int }
+	stack := []frame{{t.Root, 0}}
+	ix.first[t.Root] = 0
+	ix.tour = append(ix.tour, int32(t.Root))
+	ix.depth = append(ix.depth, int32(t.Level(t.Root)))
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.ci < len(t.Children(f.v)) {
+			c := t.Children(f.v)[f.ci]
+			f.ci++
+			if ix.first[c] < 0 {
+				ix.first[c] = int32(len(ix.tour))
+			}
+			ix.tour = append(ix.tour, int32(c))
+			ix.depth = append(ix.depth, int32(t.Level(c)))
+			stack = append(stack, frame{c, 0})
+			continue
+		}
+		stack = stack[:len(stack)-1]
+		if len(stack) > 0 {
+			p := stack[len(stack)-1].v
+			ix.tour = append(ix.tour, int32(p))
+			ix.depth = append(ix.depth, int32(t.Level(p)))
+		}
+	}
+	ix.span()
+	return ix
+}
+
+// span (re)computes blockMin and the sparse table from tour/depth.
+func (ix *lcaIndex) span() {
+	m := len(ix.tour)
+	nb := (m + lcaBlock - 1) / lcaBlock
+	ix.blockMin = make([]int32, nb)
+	for b := 0; b < nb; b++ {
+		lo := b * lcaBlock
+		hi := lo + lcaBlock - 1
+		if hi >= m {
+			hi = m - 1
+		}
+		ix.blockMin[b] = ix.scanMin(int32(lo), int32(hi))
+	}
+	levels := bits.Len(uint(nb))
+	ix.sparse = make([][]int32, levels)
+	ix.sparse[0] = ix.blockMin
+	for k := 1; k < levels; k++ {
+		prev := ix.sparse[k-1]
+		w := 1 << (k - 1)
+		row := make([]int32, nb-2*w+1)
+		for b := range row {
+			l, r := prev[b], prev[b+w]
+			if ix.depth[r] < ix.depth[l] {
+				l = r
+			}
+			row[b] = l
+		}
+		ix.sparse[k] = row
+	}
+}
+
+// scanMin returns the tour position of the minimum depth on [lo, hi].
+func (ix *lcaIndex) scanMin(lo, hi int32) int32 {
+	best := lo
+	for i := lo + 1; i <= hi; i++ {
+		if ix.depth[i] < ix.depth[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// blockRange returns the min position over whole blocks [bl, br] (inclusive,
+// bl <= br) via the sparse table.
+func (ix *lcaIndex) blockRange(bl, br int) int32 {
+	k := bits.Len(uint(br-bl+1)) - 1
+	l, r := ix.sparse[k][bl], ix.sparse[k][br-(1<<k)+1]
+	if ix.depth[r] < ix.depth[l] {
+		l = r
+	}
+	return l
+}
+
+// lca returns the LCA of present vertices u and v.
+func (ix *lcaIndex) lca(u, v int) int {
+	i, j := ix.first[u], ix.first[v]
+	if i > j {
+		i, j = j, i
+	}
+	bi, bj := int(i)/lcaBlock, int(j)/lcaBlock
+	if bi == bj {
+		return int(ix.tour[ix.scanMin(i, j)])
+	}
+	best := ix.scanMin(i, int32((bi+1)*lcaBlock-1))
+	if p := ix.scanMin(int32(bj*lcaBlock), j); ix.depth[p] < ix.depth[best] {
+		best = p
+	}
+	if bi+1 <= bj-1 {
+		if p := ix.blockRange(bi+1, bj-1); ix.depth[p] < ix.depth[best] {
+			best = p
+		}
+	}
+	return int(ix.tour[best])
+}
+
+// patchLCAIndex derives the new version's index from the parent version's by
+// splicing the Euler tour: one walk over the new tree that memcpys the
+// parent's tour+depth segment for every maximal clean subtree (no vertex
+// moved, removed, or re-aggregated inside it — such a subtree has identical
+// vertex sets, child order, and levels in both trees, so its Euler segment
+// is byte-identical) and emits only the dirty spine vertex-by-vertex. The
+// first-occurrence array and the block spans are then refilled in one O(m)
+// int32 pass each; the per-vertex work is bounded by the dirty closure, the
+// rest is sequential memcpy/scan an order of magnitude faster than the
+// pointer-chasing fresh walk.
+func patchLCAIndex(par *lcaIndex, t2 *tree.Tree, plan *patchPlan) *lcaIndex {
+	n := t2.N()
+	ix := &lcaIndex{first: make([]int32, n)}
+	m := 2*t2.Live() - 1
+	ix.tour = make([]int32, 0, m)
+	ix.depth = make([]int32, 0, m)
+	clean := func(v int) bool {
+		return !plan.dirty1[v] && !plan.dirty2[v] && par.first[v] >= 0
+	}
+	type frame struct{ v, ci int }
+	stack := []frame{{t2.Root, 0}}
+	ix.tour = append(ix.tour, int32(t2.Root))
+	ix.depth = append(ix.depth, int32(t2.Level(t2.Root)))
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.ci < len(t2.Children(f.v)) {
+			c := t2.Children(f.v)[f.ci]
+			f.ci++
+			if clean(c) {
+				// Splice T(c)'s whole segment from the parent tour, then
+				// re-emit f.v — the step the walk would take when popping c.
+				lo := par.first[c]
+				hi := lo + int32(2*t2.Size(c)-1)
+				ix.tour = append(ix.tour, par.tour[lo:hi]...)
+				ix.depth = append(ix.depth, par.depth[lo:hi]...)
+				ix.tour = append(ix.tour, int32(f.v))
+				ix.depth = append(ix.depth, int32(t2.Level(f.v)))
+				continue
+			}
+			ix.tour = append(ix.tour, int32(c))
+			ix.depth = append(ix.depth, int32(t2.Level(c)))
+			stack = append(stack, frame{c, 0})
+			continue
+		}
+		stack = stack[:len(stack)-1]
+		if len(stack) > 0 {
+			p := stack[len(stack)-1].v
+			ix.tour = append(ix.tour, int32(p))
+			ix.depth = append(ix.depth, int32(t2.Level(p)))
+		}
+	}
+	for v := range ix.first {
+		ix.first[v] = -1
+	}
+	for i, v := range ix.tour {
+		if ix.first[v] < 0 {
+			ix.first[v] = int32(i)
+		}
+	}
+	ix.span()
+	return ix
+}

@@ -1,31 +1,3 @@
-// Package snapquery is the snapshot analytics engine: a read-only query
-// layer over one frozen (graph, DFS tree) pair — the state the serving
-// layer publishes after every update — that memoizes the derived indexes
-// classical DFS applications need instead of rebuilding them per query.
-//
-// A Handle pins exactly one snapshot version and lazily constructs a bundle
-// of indexes over it:
-//
-//   - Euler-tour/sparse-table LCA (internal/lca, the paper's Theorem 5/6
-//     Schieber–Vishkin stand-in) for LCA, SameComponent and TreePath;
-//   - binary-lifting ancestor tables for KthAncestor / AncestorAtLevel in
-//     O(log n) instead of the tree's O(depth) parent walk;
-//   - bottom-up subtree aggregates (height, min/max vertex label; size and
-//     depth come free from the tree numbering) for SubtreeAgg;
-//   - full biconnectivity analysis (internal/bicon: articulation points,
-//     bridges, biconnected-component IDs of tree edges).
-//
-// Each index is built exactly once per handle under a singleflight guard:
-// concurrent first readers share one build (one builds, the rest block on
-// it), and every later reader takes a pure atomic pointer load. Because the
-// underlying snapshot structures are persistent (updates path-copy away
-// from them), index construction needs no synchronization with writers.
-//
-// Cache retains handles in an LRU keyed by (graph, version) so a bounded
-// number of hot versions keep their indexes alive while old versions age
-// out. Eviction never invalidates a held Handle — it only drops the cache's
-// reference; readers still holding the handle keep querying it, exactly
-// like a retained Snapshot.
 package snapquery
 
 import (
@@ -38,7 +10,6 @@ import (
 
 	"repro/internal/bicon"
 	"repro/internal/graph"
-	"repro/internal/lca"
 	"repro/internal/tree"
 )
 
@@ -48,30 +19,22 @@ type Key struct {
 	Version uint64
 }
 
+// buildOutcome classifies how one index slot got its value, for the cache's
+// patch-vs-build accounting.
+type buildOutcome int
+
+const (
+	outcomeBuild    buildOutcome = iota // fresh build, no parent on hand
+	outcomePatch                        // derived from the parent version's index
+	outcomeFallback                     // parent on hand but patch declined (churn/renumber)
+)
+
 // lazy is a build-once slot: a nil-until-built atomic pointer guarded by a
 // mutex that serializes the single build (the singleflight). The fast path
 // is one atomic load.
 type lazy[T any] struct {
 	p  atomic.Pointer[T]
 	mu sync.Mutex
-}
-
-func (l *lazy[T]) get(h *Handle, build func() *T) *T {
-	if v := l.p.Load(); v != nil {
-		return v
-	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if v := l.p.Load(); v != nil {
-		return v
-	}
-	start := time.Now()
-	v := build()
-	if h.onBuild != nil {
-		h.onBuild(time.Since(start))
-	}
-	l.p.Store(v)
-	return v
 }
 
 // Handle answers derived queries against exactly one pinned snapshot
@@ -85,9 +48,21 @@ type Handle struct {
 	g       graph.Adjacency
 	t       *tree.Tree
 	pseudo  int
-	onBuild func(time.Duration) // cache metrics observer; nil standalone
+	observe func(buildOutcome, time.Duration) // cache metrics observer; nil standalone
 
-	lcaIdx  lazy[lca.Index]
+	// Differential-build state: while parent is set, each tree index first
+	// tries to patch the parent handle's arrays using delta (see patch.go).
+	// The reference is dropped once all three patchable slots are filled so
+	// handle chains never retain more than one generation.
+	parent atomic.Pointer[Handle]
+	delta  Delta
+	built  atomic.Int32 // patchable slots filled; parent released at 3
+
+	planMu   sync.Mutex
+	planDone bool
+	plan     *patchPlan
+
+	lcaIdx  lazy[lcaIndex]
 	biconIx lazy[biconIndex]
 	aggIx   lazy[aggIndex]
 	liftIx  lazy[liftIndex]
@@ -98,6 +73,19 @@ type Handle struct {
 // is the artificial forest root (tree.None when the root is a real vertex).
 func New(g graph.Adjacency, t *tree.Tree, pseudo int) *Handle {
 	return &Handle{key: Key{}, g: g, t: t, pseudo: pseudo}
+}
+
+// NewDerived is New for a version whose parent handle and update delta are
+// on hand: the tree indexes will patch parent's arrays instead of building
+// from scratch whenever the delta permits (falling back silently when it
+// does not). parent must pin the version delta was measured against.
+func NewDerived(parent *Handle, g graph.Adjacency, t *tree.Tree, pseudo int, delta Delta) *Handle {
+	h := New(g, t, pseudo)
+	if parent != nil {
+		h.delta = delta
+		h.parent.Store(parent)
+	}
+	return h
 }
 
 // Key returns the (graph, version) pair the handle is pinned to (zero for
@@ -125,6 +113,71 @@ func (h *Handle) Warm() {
 	h.lift()
 }
 
+// patchPlan returns the handle's delta closure (nil = patch declined),
+// computing it on first use; the three patchable slots share one plan.
+func (h *Handle) patchPlan(par *Handle) *patchPlan {
+	h.planMu.Lock()
+	defer h.planMu.Unlock()
+	if !h.planDone {
+		h.plan = buildPatchPlan(par.t, h.t, h.delta)
+		h.planDone = true
+	}
+	return h.plan
+}
+
+// slotBuilt records one patchable slot filled; after the third the parent
+// reference and the plan are released so the version chain can be collected.
+func (h *Handle) slotBuilt() {
+	if h.built.Add(1) != 3 {
+		return
+	}
+	h.parent.Store(nil)
+	h.planMu.Lock()
+	h.plan = nil
+	h.planMu.Unlock()
+}
+
+// derive fills one patchable index slot under its singleflight: patch from
+// the parent version when one is held and the plan allows it, else build
+// fresh. Chains recurse naturally — patch typically starts by demanding the
+// parent's own slot, which may itself patch from the grandparent; the lock
+// order is strictly child→parent, so chained first queries cannot deadlock.
+func derive[T any](h *Handle, slot *lazy[T], fresh func() *T, patch func(par *Handle, plan *patchPlan) *T) *T {
+	if v := slot.p.Load(); v != nil {
+		return v
+	}
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if v := slot.p.Load(); v != nil {
+		return v
+	}
+	start := time.Now()
+	var v *T
+	outcome := outcomeBuild
+	if par := h.parent.Load(); par != nil {
+		if plan := h.patchPlan(par); plan != nil {
+			// A patch func may still decline (nil) after inspecting the
+			// parent's index — e.g. a splice over a stale shared tour.
+			if v = patch(par, plan); v != nil {
+				outcome = outcomePatch
+			} else {
+				outcome = outcomeFallback
+			}
+		} else {
+			outcome = outcomeFallback
+		}
+	}
+	if v == nil {
+		v = fresh()
+	}
+	if h.observe != nil {
+		h.observe(outcome, time.Since(start))
+	}
+	slot.p.Store(v)
+	h.slotBuilt()
+	return v
+}
+
 // live reports whether v is a queryable vertex: present and not the
 // artificial pseudo root.
 func (h *Handle) live(v int) bool { return h.t.Present(v) && v != h.pseudo }
@@ -141,8 +194,30 @@ func (h *Handle) check(op string, vs ...int) error {
 
 // ---- LCA family ----
 
-func (h *Handle) lca() *lca.Index {
-	return h.lcaIdx.get(h, func() *lca.Index { return lca.New(h.t) })
+func (h *Handle) lca() *lcaIndex {
+	return derive(h, &h.lcaIdx,
+		func() *lcaIndex { return buildLCAIndex(h.t) },
+		func(par *Handle, plan *patchPlan) *lcaIndex {
+			pix := par.lca()
+			if plan.sameTree {
+				return pix // identical tree object: share the index outright
+			}
+			if plan.shareClean {
+				// Pure detachment: no live root path changed, so the parent
+				// tour's range minima still land on the right LCAs for every
+				// live pair. Share the arrays and only flag the staleness
+				// (the tour keeps the detached vertices' occurrences).
+				return &lcaIndex{tour: pix.tour, depth: pix.depth, first: pix.first,
+					blockMin: pix.blockMin, sparse: pix.sparse,
+					stale: pix.stale || len(h.delta.Removed) > 0}
+			}
+			if pix.stale {
+				// Splicing needs exact segment offsets; a stale shared tour
+				// has phantom entries inside them. Decline and build fresh.
+				return nil
+			}
+			return patchLCAIndex(pix, h.t, plan)
+		})
 }
 
 // LCA returns the lowest common ancestor of u and v in the snapshot's DFS
@@ -152,7 +227,7 @@ func (h *Handle) LCA(u, v int) (int, error) {
 	if err := h.check("LCA", u, v); err != nil {
 		return -1, err
 	}
-	l := h.lca().LCA(u, v)
+	l := h.lca().lca(u, v)
 	if l == h.pseudo {
 		return -1, nil
 	}
@@ -219,43 +294,58 @@ type liftIndex struct {
 }
 
 func (h *Handle) lift() *liftIndex {
-	return h.liftIx.get(h, func() *liftIndex {
-		t := h.t
-		n := t.N()
-		maxLvl := 0
-		for v := 0; v < n; v++ {
-			if t.Present(v) && t.Level(v) > maxLvl {
-				maxLvl = t.Level(v)
+	return derive(h, &h.liftIx,
+		func() *liftIndex { return buildLiftIndex(h.t) },
+		func(par *Handle, plan *patchPlan) *liftIndex {
+			pix := par.lift()
+			if plan.sameTree || plan.shareClean {
+				// shareClean: an unmoved vertex keeps its whole ancestor
+				// chain, so every row is entry-for-entry reusable at live
+				// slots; extra top rows of a now-too-tall table read -1 for
+				// any live vertex, which KthAncestor already treats as
+				// above-the-root. Unlike the tour, a shared table is still a
+				// valid base for later row-copy patches.
+				return pix
 			}
+			return patchLiftIndex(pix, h.t, plan, h.delta.Moved)
+		})
+}
+
+func buildLiftIndex(t *tree.Tree) *liftIndex {
+	n := t.N()
+	maxLvl := 0
+	for v := 0; v < n; v++ {
+		if t.Present(v) && t.Level(v) > maxLvl {
+			maxLvl = t.Level(v)
 		}
-		levels := bits.Len(uint(maxLvl))
-		if levels == 0 {
-			levels = 1
+	}
+	levels := bits.Len(uint(maxLvl))
+	if levels == 0 {
+		levels = 1
+	}
+	up := make([][]int32, levels)
+	row0 := make([]int32, n)
+	for v := 0; v < n; v++ {
+		if t.Present(v) && t.Parent[v] != tree.None {
+			row0[v] = int32(t.Parent[v])
+		} else {
+			row0[v] = -1
 		}
-		up := make([][]int32, levels)
-		row0 := make([]int32, n)
+	}
+	up[0] = row0
+	for k := 1; k < levels; k++ {
+		prev := up[k-1]
+		row := make([]int32, n)
 		for v := 0; v < n; v++ {
-			if t.Present(v) && t.Parent[v] != tree.None {
-				row0[v] = int32(t.Parent[v])
+			if p := prev[v]; p >= 0 {
+				row[v] = prev[p]
 			} else {
-				row0[v] = -1
+				row[v] = -1
 			}
 		}
-		up[0] = row0
-		for k := 1; k < levels; k++ {
-			prev := up[k-1]
-			row := make([]int32, n)
-			for v := 0; v < n; v++ {
-				if p := prev[v]; p >= 0 {
-					row[v] = prev[p]
-				} else {
-					row[v] = -1
-				}
-			}
-			up[k] = row
-		}
-		return &liftIndex{up: up}
-	})
+		up[k] = row
+	}
+	return &liftIndex{up: up}
 }
 
 // KthAncestor returns v's k-th ancestor within its component (k=0 is v
@@ -318,40 +408,48 @@ type aggIndex struct {
 }
 
 func (h *Handle) agg() *aggIndex {
-	return h.aggIx.get(h, func() *aggIndex {
-		t := h.t
-		n := t.N()
-		ix := &aggIndex{
-			height: make([]int32, n),
-			min:    make([]int32, n),
-			max:    make([]int32, n),
+	return derive(h, &h.aggIx,
+		func() *aggIndex { return buildAggIndex(h.t) },
+		func(par *Handle, plan *patchPlan) *aggIndex {
+			if plan.sameTree {
+				return par.agg()
+			}
+			return patchAggIndex(par.agg(), h.t, plan)
+		})
+}
+
+func buildAggIndex(t *tree.Tree) *aggIndex {
+	n := t.N()
+	ix := &aggIndex{
+		height: make([]int32, n),
+		min:    make([]int32, n),
+		max:    make([]int32, n),
+	}
+	// Post-order ascending: every child is finalized before its parent.
+	order := make([]int32, t.Live())
+	for v := 0; v < n; v++ {
+		if t.Present(v) {
+			order[t.Post(v)] = int32(v)
 		}
-		// Post-order ascending: every child is finalized before its parent.
-		order := make([]int32, t.Live())
-		for v := 0; v < n; v++ {
-			if t.Present(v) {
-				order[t.Post(v)] = int32(v)
+	}
+	for _, v32 := range order {
+		v := int(v32)
+		var hh int32
+		mn, mx := v32, v32
+		for _, c := range t.Children(v) {
+			if ix.height[c]+1 > hh {
+				hh = ix.height[c] + 1
+			}
+			if ix.min[c] < mn {
+				mn = ix.min[c]
+			}
+			if ix.max[c] > mx {
+				mx = ix.max[c]
 			}
 		}
-		for _, v32 := range order {
-			v := int(v32)
-			var hh int32
-			mn, mx := v32, v32
-			for _, c := range t.Children(v) {
-				if ix.height[c]+1 > hh {
-					hh = ix.height[c] + 1
-				}
-				if ix.min[c] < mn {
-					mn = ix.min[c]
-				}
-				if ix.max[c] > mx {
-					mx = ix.max[c]
-				}
-			}
-			ix.height[v], ix.min[v], ix.max[v] = hh, mn, mx
-		}
-		return ix
-	})
+		ix.height[v], ix.min[v], ix.max[v] = hh, mn, mx
+	}
+	return ix
 }
 
 // SubtreeSize returns |T(v)|.
@@ -387,11 +485,27 @@ type biconIndex struct {
 	artic   []int
 }
 
+// bicon is deliberately outside the differential path: low-points depend on
+// the global back-edge structure, so a single inserted back edge can flip
+// bridges and articulation points arbitrarily far from the moved set —
+// there is no subtree locality to patch along. Always a fresh build.
 func (h *Handle) bicon() *biconIndex {
-	return h.biconIx.get(h, func() *biconIndex {
-		an := bicon.Analyze(h.g, h.t, h.pseudo, nil)
-		return &biconIndex{an: an, bridges: an.Bridges(), artic: an.ArticulationPoints()}
-	})
+	if v := h.biconIx.p.Load(); v != nil {
+		return v
+	}
+	h.biconIx.mu.Lock()
+	defer h.biconIx.mu.Unlock()
+	if v := h.biconIx.p.Load(); v != nil {
+		return v
+	}
+	start := time.Now()
+	an := bicon.Analyze(h.g, h.t, h.pseudo, nil)
+	v := &biconIndex{an: an, bridges: an.Bridges(), artic: an.ArticulationPoints()}
+	if h.observe != nil {
+		h.observe(outcomeBuild, time.Since(start))
+	}
+	h.biconIx.p.Store(v)
+	return v
 }
 
 // IsArticulation reports whether deleting v would disconnect its component.
@@ -454,4 +568,105 @@ func (h *Handle) SameBiconnectedComponent(u, v int) (bool, error) {
 	an := h.bicon().an
 	cu, cv := an.ComponentOf(u), an.ComponentOf(v)
 	return cu >= 0 && cu == cv, nil
+}
+
+// ---- Differential oracle ----
+
+// CheckSynced verifies the handle's materialized tree indexes against fresh
+// ground-up builds over the same tree — the differential oracle of the
+// patch path, mirroring dstruct.D's CheckSynced. A patched index must be
+// structurally identical to the fresh build on every entry a query can
+// reach: the full Euler tour (splice order equals walk order), every live
+// vertex's first occurrence and lifting rows, every live vertex's
+// aggregates. Entries at removed-vertex slots are intentionally stale in
+// patched arrays and are excluded. Slots not yet built are skipped, so the
+// oracle never triggers builds itself; nil means every built index is in
+// sync.
+func (h *Handle) CheckSynced() error {
+	t := h.t
+	if got := h.lcaIdx.p.Load(); got != nil {
+		want := buildLCAIndex(t)
+		if got.stale {
+			// A tour shared across pure detachments is the exact tour of an
+			// ancestor version: dropping the occurrences of now-absent
+			// vertices and collapsing the adjacent duplicates each excision
+			// leaves behind must reproduce the fresh walk entry for entry,
+			// and every live vertex's first[] must point at one of its own
+			// occurrences (any occurrence is a valid RMQ endpoint).
+			j := 0
+			prev := int32(-1)
+			for i := range got.tour {
+				v := got.tour[i]
+				if !t.Present(int(v)) || (j > 0 && v == prev) {
+					continue
+				}
+				if j >= len(want.tour) || v != want.tour[j] || got.depth[i] != want.depth[j] {
+					return fmt.Errorf("snapquery: CheckSynced: stale tour normalizes to (%d,%d) at %d, want (%d,%d)",
+						v, got.depth[i], j, want.tour[min(j, len(want.tour)-1)], want.depth[min(j, len(want.tour)-1)])
+				}
+				prev = v
+				j++
+			}
+			if j != len(want.tour) {
+				return fmt.Errorf("snapquery: CheckSynced: stale tour normalizes to %d entries, want %d", j, len(want.tour))
+			}
+			for v := 0; v < t.N(); v++ {
+				if t.Present(v) && (got.first[v] < 0 || int(got.first[v]) >= len(got.tour) || got.tour[got.first[v]] != int32(v)) {
+					return fmt.Errorf("snapquery: CheckSynced: stale first[%d] = %d does not index an occurrence of %d", v, got.first[v], v)
+				}
+			}
+		} else {
+			if len(got.tour) != len(want.tour) {
+				return fmt.Errorf("snapquery: CheckSynced: tour length %d, want %d", len(got.tour), len(want.tour))
+			}
+			for i := range want.tour {
+				if got.tour[i] != want.tour[i] || got.depth[i] != want.depth[i] {
+					return fmt.Errorf("snapquery: CheckSynced: tour[%d] = (%d,%d), want (%d,%d)",
+						i, got.tour[i], got.depth[i], want.tour[i], want.depth[i])
+				}
+			}
+			for v := 0; v < t.N(); v++ {
+				if t.Present(v) && got.first[v] != want.first[v] {
+					return fmt.Errorf("snapquery: CheckSynced: first[%d] = %d, want %d", v, got.first[v], want.first[v])
+				}
+			}
+		}
+	}
+	if got := h.liftIx.p.Load(); got != nil {
+		want := buildLiftIndex(t)
+		// A table shared across pure detachments may keep rows the (now
+		// shallower) tree no longer needs; those must read -1 — above the
+		// forest — at every live slot.
+		if len(got.up) < len(want.up) {
+			return fmt.Errorf("snapquery: CheckSynced: lift has %d rows, want at least %d", len(got.up), len(want.up))
+		}
+		for k := range got.up {
+			for v := 0; v < t.N(); v++ {
+				if !t.Present(v) {
+					continue
+				}
+				w := int32(-1)
+				if k < len(want.up) {
+					w = want.up[k][v]
+				}
+				if got.up[k][v] != w {
+					return fmt.Errorf("snapquery: CheckSynced: up[%d][%d] = %d, want %d",
+						k, v, got.up[k][v], w)
+				}
+			}
+		}
+	}
+	if got := h.aggIx.p.Load(); got != nil {
+		want := buildAggIndex(t)
+		for v := 0; v < t.N(); v++ {
+			if !t.Present(v) {
+				continue
+			}
+			if got.height[v] != want.height[v] || got.min[v] != want.min[v] || got.max[v] != want.max[v] {
+				return fmt.Errorf("snapquery: CheckSynced: agg[%d] = (%d,%d,%d), want (%d,%d,%d)",
+					v, got.height[v], got.min[v], got.max[v], want.height[v], want.min[v], want.max[v])
+			}
+		}
+	}
+	return nil
 }

@@ -345,8 +345,8 @@ func TestCacheDropGraphAndIncarnations(t *testing.T) {
 
 	c.DropGraph("a")
 	st := c.Stats()
-	if st.Size != 1 || st.Evictions != 1 {
-		t.Fatalf("size=%d evictions=%d after DropGraph, want 1/1", st.Size, st.Evictions)
+	if st.Size != 1 || st.Dropped != 1 || st.Evictions != 0 {
+		t.Fatalf("size=%d dropped=%d evictions=%d after DropGraph, want 1/1/0", st.Size, st.Dropped, st.Evictions)
 	}
 	if _, err := hA.LCA(0, 1); err != nil {
 		t.Fatalf("held handle broken by DropGraph: %v", err)
@@ -362,5 +362,16 @@ func TestCacheDropGraphAndIncarnations(t *testing.T) {
 	hA3 := c.Handle(Key{Graph: "a", Version: 1}, gA2, trA2, gA2.NumVertexSlots())
 	if hA3 != hA2 {
 		t.Fatal("same incarnation not shared")
+	}
+	// The re-created incarnation evicted its stale predecessor in place:
+	// counted under Dropped, not capacity Evictions.
+	gA3 := graph.GnpConnected(30, 0.15, rng)
+	trA3 := baseline.StaticDFS(gA3)
+	if h := c.Handle(Key{Graph: "a", Version: 1}, gA3, trA3, gA3.NumVertexSlots()); h == hA2 {
+		t.Fatal("colliding incarnation aliased")
+	}
+	st = c.Stats()
+	if st.Dropped != 2 || st.Evictions != 0 {
+		t.Fatalf("dropped=%d evictions=%d after incarnation collision, want 2/0", st.Dropped, st.Evictions)
 	}
 }
