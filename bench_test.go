@@ -17,9 +17,11 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/dstruct"
+	"repro/internal/obs"
 	"repro/internal/pram"
 )
 
@@ -438,6 +440,110 @@ func BenchmarkUpdateExecLowChurn(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkUpdateExecObsOverhead prices the observability instrumentation
+// on the update hot path, against the same low-churn incremental workload
+// as BenchmarkUpdateExecLowChurn (the cheapest real update, so the
+// percentages below are worst-case):
+//
+//   - mode=off    — the nil-gated default every single-tenant caller gets.
+//   - mode=traced — the serving shard's full per-update instrumentation:
+//     attach a trace, record the wait/apply histograms, accumulate the
+//     stage counters, offer to the slow ring.
+//   - record      — the histogram-record primitive alone; reports
+//     record-ns/op and hotpath-record-pct, the cost of the hot path's two
+//     Record calls as a percentage of a calibrated untraced update. The
+//     acceptance target is hotpath-record-pct < 1.
+func BenchmarkUpdateExecObsOverhead(b *testing.B) {
+	const n = 16384
+	setup := func(b *testing.B) (*Maintainer, int, int) {
+		rng := rand.New(rand.NewSource(1))
+		g := GnpConnected(n, 3.0/float64(n), rng)
+		m := NewMaintainerWith(g, Options{RebuildD: true, ReuseTree: true})
+		tr := m.Tree()
+		for x := 0; x < g.NumVertexSlots(); x++ {
+			if !tr.Present(x) || tr.Level(x) < 3 {
+				continue
+			}
+			a := tr.Parent[tr.Parent[tr.Parent[x]]]
+			if a != m.PseudoRoot() && !m.Graph().HasEdge(x, a) {
+				return m, x, a
+			}
+		}
+		b.Skip("no comparable non-edge found")
+		return nil, 0, 0
+	}
+	toggle := func(b *testing.B, m *Maintainer, u, v, i int) {
+		var err error
+		if i%2 == 0 {
+			err = m.InsertEdge(u, v)
+		} else {
+			err = m.DeleteEdge(u, v)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("mode=off", func(b *testing.B) {
+		m, u, v := setup(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			toggle(b, m, u, v, i)
+		}
+	})
+	b.Run("mode=traced", func(b *testing.B) {
+		m, u, v := setup(b)
+		var (
+			trace               obs.Trace
+			waitHist, applyHist obs.Histogram
+			stageNanos          [5]atomic.Int64
+			ring                = obs.NewSlowRing(obs.DefaultSlowRingSize)
+		)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			recv := time.Now()
+			trace = obs.Trace{Kind: "InsertEdge", Start: recv, Batch: 1}
+			m.SetTrace(&trace)
+			toggle(b, m, u, v, i)
+			m.SetTrace(nil)
+			apply := time.Since(recv)
+			if plan := apply - trace.Engine - trace.DMaint; plan > 0 {
+				trace.Plan = plan
+			}
+			waitHist.Record(trace.Wait)
+			applyHist.Record(apply)
+			trace.Total = trace.StageSum()
+			stageNanos[1].Add(int64(trace.Plan))
+			stageNanos[2].Add(int64(trace.Engine))
+			stageNanos[3].Add(int64(trace.DMaint))
+			ring.Offer(&trace)
+		}
+	})
+	b.Run("record", func(b *testing.B) {
+		var h obs.Histogram
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			// Steady-state latency samples: jitter around a few µs, so the
+			// max-CAS settles after the first records (a monotone ramp would
+			// force the CAS every call — not what a latency stream does).
+			h.RecordValue(2500 + int64(i&1023))
+		}
+		recordNs := float64(time.Since(start).Nanoseconds()) / float64(b.N)
+		// Calibrate the untraced update this records against.
+		m, u, v := setup(b)
+		const calib = 2000
+		us := time.Now()
+		for i := 0; i < calib; i++ {
+			toggle(b, m, u, v, i)
+		}
+		updateNs := float64(time.Since(us).Nanoseconds()) / calib
+		b.ReportMetric(recordNs, "record-ns/op")
+		if updateNs > 0 {
+			// The apply hot path records two histograms per update.
+			b.ReportMetric(100*2*recordNs/updateNs, "hotpath-record-pct")
+		}
+	})
 }
 
 // E9: serving-layer throughput. Sweeps shards × tenant graphs × read/write

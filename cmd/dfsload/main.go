@@ -11,12 +11,21 @@
 //	dfsload                                  # defaults: GOMAXPROCS shards
 //	dfsload -shards 8 -graphs 32 -n 2048 \
 //	        -writers 8 -readers 16 -batch 4 -querymix 50 -duration 10s
+//	dfsload -debugaddr localhost:6060 -duration 1m   # then:
+//	curl localhost:6060/debug/service                # live histograms+traces
+//
+// With -debugaddr the service's debug endpoint (metrics JSON with per-shard
+// latency percentiles, slowest update traces, expvar, pprof) is served for
+// the whole run, and the final report prints p50/p99 update and query
+// latency, the stage-time breakdown of the update loops, and the top
+// slowest traces.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
 	"runtime"
 	"sync"
@@ -40,10 +49,19 @@ func main() {
 		qcache   = flag.Int("querycache", 0, "index-cache capacity per shard (0 = default)")
 		duration = flag.Duration("duration", 5*time.Second, "load duration")
 		seed     = flag.Int64("seed", 1, "workload seed")
+		dbgAddr  = flag.String("debugaddr", "", "serve the live debug endpoint (JSON metrics, slow traces, pprof) on this address for the whole run, e.g. localhost:6060")
 	)
 	flag.Parse()
 
 	svc := dfs.NewService(dfs.ServiceConfig{Shards: *shards, QueryCache: *qcache})
+	if *dbgAddr != "" {
+		go func() {
+			fmt.Printf("debug endpoint on http://%s/debug/service\n", *dbgAddr)
+			if err := http.ListenAndServe(*dbgAddr, svc.DebugHandler()); err != nil {
+				fmt.Fprintf(os.Stderr, "debug endpoint: %v\n", err)
+			}
+		}()
+	}
 	ids := make([]dfs.GraphID, *graphs)
 	setup := time.Now()
 	for i := range ids {
@@ -217,13 +235,61 @@ func main() {
 	}
 
 	secs := duration.Seconds()
-	fmt.Printf("\n%-8s %7s %7s %8s %12s %14s %12s\n",
-		"shard", "graphs", "queue", "updates", "updates/sec", "pram depth", "pram work")
+	fmt.Printf("\n%-8s %7s %7s %5s %8s %12s %10s %10s %14s %12s\n",
+		"shard", "graphs", "queue", "hwm", "updates", "updates/sec", "apply p50", "apply p99", "pram depth", "pram work")
 	m := svc.Metrics()
 	for _, sm := range m.Shards {
-		fmt.Printf("%-8d %7d %3d/%-3d %8d %12.0f %14d %12d\n",
-			sm.Shard, sm.Graphs, sm.QueueDepth, sm.QueueCap,
-			sm.Updates, sm.UpdatesPerSec, sm.PRAMDepth, sm.PRAMWork)
+		fmt.Printf("%-8d %7d %3d/%-3d %5d %8d %12.0f %10v %10v %14d %12d\n",
+			sm.Shard, sm.Graphs, sm.QueueDepth, sm.QueueCap, sm.QueueHighWater,
+			sm.Updates, sm.UpdatesPerSec,
+			time.Duration(sm.ApplyHist.Quantile(0.50)).Round(time.Microsecond),
+			time.Duration(sm.ApplyHist.Quantile(0.99)).Round(time.Microsecond),
+			sm.PRAMDepth, sm.PRAMWork)
+	}
+
+	// Latency distributions across all shards (merged histograms).
+	pq := func(h dfs.HistogramSnapshot) string {
+		if h.Count == 0 {
+			return "(no samples)"
+		}
+		return fmt.Sprintf("p50 %v  p90 %v  p99 %v  max %v  (n=%d)",
+			time.Duration(h.Quantile(0.50)).Round(time.Microsecond),
+			time.Duration(h.Quantile(0.90)).Round(time.Microsecond),
+			time.Duration(h.Quantile(0.99)).Round(time.Microsecond),
+			time.Duration(h.Max).Round(time.Microsecond), h.Count)
+	}
+	fmt.Printf("\nlatency  update apply    %s\n", pq(m.ApplyHist))
+	fmt.Printf("         mailbox wait    %s\n", pq(m.MailboxWaitHist))
+	fmt.Printf("         snapshot publish %s\n", pq(m.PublishHist))
+	fmt.Printf("         query resolve   %s\n", pq(m.QueryResolveHist))
+	fmt.Printf("         index build     %s\n", pq(m.IndexBuildHist))
+	fmt.Printf("         index patch     %s\n", pq(m.IndexPatchHist))
+
+	// Where the update loops' wall-clock went, stage by stage.
+	if total := m.Stages.Total(); total > 0 {
+		pc := func(d time.Duration) string {
+			return fmt.Sprintf("%v (%4.1f%%)", d.Round(time.Millisecond), 100*float64(d)/float64(total))
+		}
+		fmt.Printf("\nstages   wait %s  plan %s  engine %s  dmaint %s  publish %s\n",
+			pc(m.Stages.Wait), pc(m.Stages.Plan), pc(m.Stages.Engine),
+			pc(m.Stages.DMaint), pc(m.Stages.Publish))
+	}
+
+	// The slowest retained update traces, stage by stage.
+	if slow := svc.SlowTraces(); len(slow) > 0 {
+		if len(slow) > 3 {
+			slow = slow[:3]
+		}
+		fmt.Printf("\nslowest updates:\n")
+		for i, tr := range slow {
+			fmt.Printf("  #%d %v  %s %s on %s (shard %d, batch %d): %s, moved %d",
+				i+1, tr.Total.Round(time.Microsecond), tr.Kind, stageLine(tr),
+				tr.Graph, tr.Shard, tr.Batch, tr.Outcome, tr.Moved)
+			if tr.Err != "" {
+				fmt.Printf(" [%s]", tr.Err)
+			}
+			fmt.Println()
+		}
 	}
 	fmt.Printf("\napplied %d updates (%.0f/sec), %d conflicts; %d reads (%.0f/sec), %d verified snapshots, %d read errors\n",
 		applied.Load(), float64(applied.Load())/secs,
@@ -243,4 +309,19 @@ func main() {
 			m.IndexPatches, m.IndexBuilds, m.IndexPatchFallbacks,
 			meanPatch.Round(time.Microsecond))
 	}
+}
+
+// stageLine renders a trace's nonzero stages compactly, pipeline order.
+func stageLine(tr dfs.UpdateTrace) string {
+	out := "["
+	for _, sp := range tr.Stages() {
+		if sp.D <= 0 {
+			continue
+		}
+		if len(out) > 1 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s %v", sp.Stage, sp.D.Round(time.Microsecond))
+	}
+	return out + "]"
 }

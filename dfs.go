@@ -58,6 +58,17 @@
 // and retained in a bounded per-shard LRU, so warm queries do zero index
 // construction. NewSnapshotQuery is the standalone (uncached) equivalent
 // for any frozen graph+tree pair.
+//
+// # Observability
+//
+// Service.Metrics samples per-shard operational counters with lock-free
+// log-bucketed latency histograms (update apply, mailbox wait, snapshot
+// publish, batch size, index build/patch, query resolution) and a
+// cumulative stage-time breakdown of the update loops; Service.SlowTraces
+// returns the slowest retained per-update stage traces; and
+// Service.DebugHandler serves all of it — plus expvar and pprof — as a live
+// HTTP debug endpoint (cmd/dfsload mounts it under -debugaddr). Tracing is
+// nil-gated in the maintainer, so single-tenant users pay nothing.
 package dfs
 
 import (
@@ -68,6 +79,7 @@ import (
 	"repro/internal/dstruct"
 	"repro/internal/faulttol"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/pram"
 	"repro/internal/reroot"
 	"repro/internal/service"
@@ -172,6 +184,28 @@ type ServiceMetrics = service.Metrics
 
 // ServiceShardMetrics is one shard's sample within ServiceMetrics.
 type ServiceShardMetrics = service.ShardMetrics
+
+// HistogramSnapshot is an immutable sample of a lock-free log-bucketed
+// latency histogram: exact count/sum/max plus estimated quantiles
+// (Quantile, Mean), mergeable across shards (Merge). ServiceMetrics carries
+// these for the update, wait, publish, batch-size and index read paths.
+type HistogramSnapshot = obs.HistSnapshot
+
+// UpdateTrace is one update's stage-timed journey through the serving
+// stack (mailbox wait → plan → reroot engine → D maintenance → snapshot
+// publish) with outcome tags. Each shard retains its slowest
+// ServiceConfig.SlowTraces of them, exposed by Service.SlowTraces and the
+// debug endpoint.
+type UpdateTrace = obs.Trace
+
+// StageTimes is the cumulative per-stage wall-clock breakdown within
+// ServiceMetrics: where the update loops' time actually went.
+type StageTimes = service.StageTimes
+
+// MetricsRegistry is the pull-based observability registry behind
+// Service.Obs and the /debug/obs endpoint: named sampling functions over
+// the service's shards, machines and index caches.
+type MetricsRegistry = obs.Registry
 
 // QueryHandle is the snapshot analytics engine's version-pinned handle:
 // LCA, level/k-th ancestors, subtree aggregates, tree paths and the full

@@ -18,10 +18,12 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/dstruct"
 	"repro/internal/graph"
 	"repro/internal/lca"
+	"repro/internal/obs"
 	"repro/internal/pram"
 	"repro/internal/reroot"
 	"repro/internal/tree"
@@ -137,6 +139,26 @@ type DynamicDFS struct {
 
 	qstats  dstruct.Stats // query search effort accumulated across updates
 	scratch reroot.Scratch
+
+	// trace, when non-nil, receives the in-flight update's stage timings
+	// (engine, D maintenance) and outcome tags; engineDur/dmaintDur
+	// accumulate the spans across an update's phases. All tracing is gated
+	// on the nil check, so untraced callers pay nothing.
+	trace     *obs.Trace
+	engineDur time.Duration
+	dmaintDur time.Duration
+}
+
+// SetTrace attaches (or, with nil, detaches) the per-update trace the next
+// Apply fills in: the engine and D-maintenance stage durations, the
+// maintenance outcome ("incremental", "fallback", "rebuild", "pinned"), the
+// back-edge SameTree tag, and the moved/removed set sizes. The serving
+// layer attaches a fresh trace around every update it applies; single-
+// tenant drivers may do the same. The attached trace stays installed until
+// replaced, but stage accumulators reset at each SetTrace call.
+func (dd *DynamicDFS) SetTrace(t *obs.Trace) {
+	dd.trace = t
+	dd.engineDur, dd.dmaintDur = 0, 0
 }
 
 // New builds the maintainer over a private persistent copy of g: computes
@@ -294,8 +316,24 @@ func (dd *DynamicDFS) rebuildTreeFromScratch() {
 	dd.t = tree.MustBuild(dd.pseudo, parent, dd.present())
 }
 
+// reroot runs one engine rerooting, timing it into the update's engine
+// span when a trace is attached.
+func (dd *DynamicDFS) reroot(e *reroot.Engine, root, inside, on int) error {
+	if dd.trace == nil {
+		return e.Reroot(root, inside, on)
+	}
+	t0 := time.Now()
+	err := e.Reroot(root, inside, on)
+	dd.engineDur += time.Since(t0)
+	return err
+}
+
 // finish installs the engine's result as the new tree and refreshes D.
 func (dd *DynamicDFS) finish(e *reroot.Engine) error {
+	var t0 time.Time
+	if dd.trace != nil {
+		t0 = time.Now()
+	}
 	var nt *tree.Tree
 	var err error
 	if dd.reuseTree {
@@ -314,6 +352,9 @@ func (dd *DynamicDFS) finish(e *reroot.Engine) error {
 		}
 	} else {
 		nt, err = e.Result(dd.pseudo, dd.present())
+	}
+	if dd.trace != nil {
+		dd.engineDur += time.Since(t0)
 	}
 	if err != nil {
 		return fmt.Errorf("core: rebuilding tree: %w", err)
@@ -338,17 +379,27 @@ func (dd *DynamicDFS) finish(e *reroot.Engine) error {
 func (dd *DynamicDFS) installTree(nt *tree.Tree, moved, removed []int, sameTree bool) {
 	dd.t = nt
 	dd.updates++
+	var t0 time.Time
+	if dd.trace != nil {
+		t0 = time.Now()
+	}
+	outcome := "pinned"
 	if dd.rebuildD {
 		if dd.fullRebuildD {
 			// Baseline mode: the paper's literal m-processor rebuild,
 			// executed in place on the worker pool.
 			dd.d.Rebuild(dd.g, dd.t, dd.m)
+			outcome = "rebuild"
 		} else {
 			// Incremental maintenance: reposition only the entries naming
 			// moved vertices and absorb the update's patches; D falls back
 			// to the full rebuild by itself when the churn ratio makes the
 			// incremental pass more expensive.
-			dd.d.Update(dd.g, dd.t, dstruct.UpdateDelta{Moved: moved, SameTree: sameTree})
+			if dd.d.Update(dd.g, dd.t, dstruct.UpdateDelta{Moved: moved, SameTree: sameTree}) {
+				outcome = "incremental"
+			} else {
+				outcome = "fallback"
+			}
 		}
 		// dd.l aliases the freshly maintained index.
 		dd.l = dd.d.LCA
@@ -356,6 +407,13 @@ func (dd *DynamicDFS) installTree(nt *tree.Tree, moved, removed []int, sameTree 
 		// Fault-tolerant mode: D stays pinned to the base tree, so the
 		// engine-facing index is a separate buffer rebuilt on the new tree.
 		dd.l.Rebuild(dd.t)
+	}
+	if tr := dd.trace; tr != nil {
+		dd.dmaintDur += time.Since(t0)
+		tr.Engine, tr.DMaint = dd.engineDur, dd.dmaintDur
+		tr.Outcome = outcome
+		tr.SameTree = sameTree
+		tr.Moved, tr.Removed = len(moved), len(removed)
 	}
 	if dd.rebuildD && !dd.fullRebuildD && !dd.relocated {
 		dd.lastDelta = &Delta{

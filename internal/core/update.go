@@ -44,7 +44,7 @@ func (dd *DynamicDFS) InsertEdge(u, v int) error {
 	}
 	vPrime := dd.t.ChildToward(w, v)
 	e := dd.engine()
-	if err := e.Reroot(vPrime, v, u); err != nil {
+	if err := dd.reroot(e, vPrime, v, u); err != nil {
 		return fmt.Errorf("core: insert edge (%d,%d): %w", u, v, err)
 	}
 	return dd.finish(e)
@@ -74,7 +74,7 @@ func (dd *DynamicDFS) DeleteEdge(u, v int) error {
 	}
 	e := dd.engine()
 	if inside, on, ok := dd.lowestEdgeToPath(v, u, dd.compRoot(u)); ok {
-		if err := e.Reroot(v, inside, on); err != nil {
+		if err := dd.reroot(e, v, inside, on); err != nil {
 			return fmt.Errorf("core: delete edge (%d,%d): %w", u, v, err)
 		}
 	} else {
@@ -116,7 +116,7 @@ func (dd *DynamicDFS) DeleteVertex(u int) error {
 	answers := dd.lowestEdgesToPath(children, pu, dd.compRoot(pu))
 	for i, vi := range children {
 		if answers[i].OK {
-			if err := e.Reroot(vi, answers[i].Hit.U, answers[i].Hit.Z); err != nil {
+			if err := dd.reroot(e, vi, answers[i].Hit.U, answers[i].Hit.Z); err != nil {
 				return fmt.Errorf("core: delete vertex %d (subtree %d): %w", u, vi, err)
 			}
 		} else {
@@ -178,7 +178,7 @@ func (dd *DynamicDFS) InsertVertex(neighbors []int) (int, error) {
 			continue // same subtree already rerooted; extra edge is a back edge
 		}
 		seen[vPrime] = true
-		if err := e.Reroot(vPrime, vi, u); err != nil {
+		if err := dd.reroot(e, vPrime, vi, u); err != nil {
 			return -1, fmt.Errorf("core: insert vertex (neighbor %d): %w", vi, err)
 		}
 	}

@@ -1,0 +1,27 @@
+// Package obs is the serving stack's dependency-free observability core:
+// lock-free latency histograms, per-update stage traces, a slowest-K trace
+// ring, and a registry that lets independent subsystems (shards, the
+// snapquery cache, pram machines) publish through one interface.
+//
+// The package imports only the standard library so every layer of the
+// repository — including internal/core and internal/pram, which everything
+// else depends on — can record into it without import cycles.
+//
+//   - Histogram is a log-bucketed (power-of-2) histogram of int64 samples
+//     built from atomic counters: Record is a handful of uncontended atomic
+//     adds (no locks, no allocation), cheap enough for the per-update hot
+//     path. Snapshot returns an immutable, mergeable copy with
+//     p50/p90/p99/max estimation.
+//   - Trace is one update's stage breakdown as it flows through the serving
+//     stack: mailbox wait → plan (graph mutation, D queries, LCA) →
+//     reroot/engine → D maintenance (incremental Update vs rebuild) →
+//     snapshot publish, plus outcome tags (incremental|rebuild|fallback,
+//     SameTree, moved/removed set sizes, the PRAM depth/work charged). The
+//     five stages are disjoint and sum to Total.
+//   - SlowRing retains the slowest-K traces seen, with a lock-free
+//     admission threshold so the common (fast-update) case never takes the
+//     ring's mutex.
+//   - Registry maps names to sampling functions; Snapshot evaluates them
+//     all, and Handler serves the result as JSON. Source is the interface
+//     subsystems implement to publish themselves under a prefix.
+package obs

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"encoding/json"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets is the bucket count of a Histogram: bucket 0 holds samples
+// ≤ 0, bucket i (1 ≤ i ≤ 64) holds samples v with 2^(i-1) ≤ v < 2^i.
+const numBuckets = 65
+
+// Histogram is a lock-free log-bucketed histogram of int64 samples
+// (typically latencies in nanoseconds, but any non-negative magnitude —
+// batch sizes, queue depths — works). The zero value is ready to use.
+// Record never locks and never allocates; Snapshot is a consistent-enough
+// copy for monitoring (it reads the counters without a barrier, so a
+// snapshot taken concurrently with records may be mid-update by a few
+// samples — each counter is itself atomic, so no torn values).
+//
+// A Histogram must not be copied after first use.
+type Histogram struct {
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Uint64
+}
+
+// bucketOf maps a sample to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v)) // 1..64
+}
+
+// Record adds one duration sample (in nanoseconds).
+func (h *Histogram) Record(d time.Duration) { h.RecordValue(int64(d)) }
+
+// RecordValue adds one sample. The hot path is two uncontended atomic adds
+// plus one load: the total count is derived from the bucket counts at
+// snapshot time rather than maintained separately, and the max is only
+// CASed when the sample actually exceeds it (rare for steady latencies).
+func (h *Histogram) RecordValue(v int64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Sum: h.sum.Load(),
+		Max: h.max.Load(),
+	}
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.Buckets[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// HistSnapshot is an immutable point-in-time copy of a Histogram. Snapshots
+// merge (for cross-shard aggregation) and answer quantile estimates; they
+// are plain values and may be copied freely.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     int64
+	Max     int64
+	Buckets [numBuckets]uint64
+}
+
+// Merge folds o into s (counts and sums add, max takes the larger). Merging
+// per-shard snapshots yields exactly the histogram a single shared
+// Histogram would have recorded.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Mean returns the mean sample, 0 when empty.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by locating the bucket
+// holding the rank-⌈q·count⌉ sample and interpolating linearly inside its
+// [2^(i-1), 2^i) range; the estimate is clamped to the recorded Max (exact
+// for q=1). Returns 0 when the histogram is empty.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		if rank < cum+c {
+			if i == 0 {
+				return 0
+			}
+			lo := int64(1) << (i - 1)
+			hi := lo << 1 // exclusive
+			// Position of the rank within this bucket, in (0, 1].
+			frac := float64(rank-cum+1) / float64(c)
+			v := lo + int64(frac*float64(hi-lo))
+			if v > s.Max {
+				v = s.Max
+			}
+			return v
+		}
+		cum += c
+	}
+	return s.Max
+}
+
+// histJSON is the wire form of a snapshot: derived summary values rather
+// than the raw bucket array (count/sum/max are exact; mean and the
+// percentiles derived). Durations are nanoseconds.
+type histJSON struct {
+	Count uint64  `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+	Max   int64   `json:"max"`
+}
+
+// MarshalJSON emits the summary form ({count, sum, mean, p50, p90, p99,
+// max}); consumers wanting raw buckets use the struct fields directly.
+func (s HistSnapshot) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histJSON{
+		Count: s.Count,
+		Sum:   s.Sum,
+		Mean:  s.Mean(),
+		P50:   s.Quantile(0.50),
+		P90:   s.Quantile(0.90),
+		P99:   s.Quantile(0.99),
+		Max:   s.Max,
+	})
+}
+
+// UnmarshalJSON accepts the summary form, restoring the exact fields
+// (count, sum, max) and approximating the distribution by placing every
+// sample in the bucket of the mean — enough for round-tripping summaries
+// through JSON consumers that only re-read counts and percentile bounds.
+func (s *HistSnapshot) UnmarshalJSON(b []byte) error {
+	var j histJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	*s = HistSnapshot{Count: j.Count, Sum: j.Sum, Max: j.Max}
+	if j.Count > 0 {
+		s.Buckets[bucketOf(int64(j.Mean))] = j.Count
+	}
+	return nil
+}

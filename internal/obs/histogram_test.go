@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"encoding/json"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Count != 0 || s.Quantile(0.99) != 0 || s.Mean() != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+	for _, v := range []int64{1, 2, 3, 100, 1000} {
+		h.RecordValue(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 || s.Sum != 1106 || s.Max != 1000 {
+		t.Fatalf("count/sum/max = %d/%d/%d, want 5/1106/1000", s.Count, s.Sum, s.Max)
+	}
+	if got := s.Quantile(1); got != 1000 {
+		t.Fatalf("q1 = %d, want exact max 1000", got)
+	}
+}
+
+// TestHistogramQuantileBounds checks the estimation contract: each
+// quantile estimate lands within the power-of-2 bucket of the true
+// order statistic (and never exceeds the recorded max).
+func TestHistogramQuantileBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	samples := make([]int64, 10_000)
+	for i := range samples {
+		samples[i] = int64(rng.ExpFloat64() * 50_000) // latency-shaped, ns scale
+		h.RecordValue(samples[i])
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		truth := samples[int(q*float64(len(samples)))]
+		est := s.Quantile(q)
+		if est > s.Max {
+			t.Fatalf("q%.3f estimate %d exceeds max %d", q, est, s.Max)
+		}
+		// Same bucket as the truth, or an adjacent one (interpolation can
+		// cross a boundary when the rank sits at a bucket edge).
+		bt, be := bucketOf(truth), bucketOf(est)
+		if be < bt-1 || be > bt+1 {
+			t.Fatalf("q%.3f estimate %d (bucket %d) far from true %d (bucket %d)", q, est, be, truth, bt)
+		}
+	}
+}
+
+func TestHistogramMergeEqualsSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var parts [4]Histogram
+	var whole Histogram
+	for i := 0; i < 50_000; i++ {
+		v := int64(rng.Intn(1 << 20))
+		parts[i%4].RecordValue(v)
+		whole.RecordValue(v)
+	}
+	var merged HistSnapshot
+	for i := range parts {
+		merged.Merge(parts[i].Snapshot())
+	}
+	if want := whole.Snapshot(); merged != want {
+		t.Fatalf("merged snapshot differs from single-histogram snapshot:\n%+v\nvs\n%+v", merged, want)
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.RecordValue(int64(w*per + i))
+				if i%1000 == 0 {
+					_ = h.Snapshot() // concurrent sampling must be race-free
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	if want := int64(workers*per - 1); s.Max != want {
+		t.Fatalf("max = %d, want %d", s.Max, want)
+	}
+	var bucketSum uint64
+	for _, c := range s.Buckets {
+		bucketSum += c
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, s.Count)
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HistSnapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count != s.Count || back.Sum != s.Sum || back.Max != s.Max {
+		t.Fatalf("round trip lost exact fields: %+v vs %+v", back, s)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"count", "mean", "p50", "p90", "p99", "max"} {
+		if _, ok := decoded[k]; !ok {
+			t.Fatalf("JSON missing %q: %s", k, b)
+		}
+	}
+}

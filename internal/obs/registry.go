@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// Var samples one published value. Implementations must be safe to call
+// concurrently with the subsystem they observe (the convention everywhere
+// in this repository: atomics or read locks, never the update loops'
+// mutexes).
+type Var func() any
+
+// Source is implemented by subsystems that publish themselves into a
+// Registry under a caller-chosen prefix (e.g. "shard3.pram."). It is how
+// shards, the snapquery cache and pram machines all expose state through
+// one interface.
+type Source interface {
+	ObsPublish(r *Registry, prefix string)
+}
+
+// Registry maps dotted names to sampling functions. Publication happens at
+// setup time; Snapshot (and the HTTP handler) evaluate every Var at call
+// time, so the registry itself holds no stale values.
+type Registry struct {
+	mu   sync.RWMutex
+	vars map[string]Var
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{vars: make(map[string]Var)}
+}
+
+// Publish registers v under name, replacing any previous registration.
+func (r *Registry) Publish(name string, v Var) {
+	r.mu.Lock()
+	r.vars[name] = v
+	r.mu.Unlock()
+}
+
+// Gauge registers an int64 sampling function.
+func (r *Registry) Gauge(name string, f func() int64) {
+	r.Publish(name, func() any { return f() })
+}
+
+// Snapshot evaluates every registered Var.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.RLock()
+	vars := make(map[string]Var, len(r.vars))
+	for name, v := range r.vars {
+		vars[name] = v
+	}
+	r.mu.RUnlock()
+	out := make(map[string]any, len(vars))
+	for name, v := range vars {
+		out[name] = v()
+	}
+	return out
+}
+
+// Handler serves the registry snapshot as JSON (keys sorted by
+// encoding/json's map ordering).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}

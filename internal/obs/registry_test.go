@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+type fakeSource struct{ n atomic.Int64 }
+
+func (f *fakeSource) ObsPublish(r *Registry, prefix string) {
+	r.Gauge(prefix+"n", f.n.Load)
+}
+
+func TestRegistrySnapshotAndHandler(t *testing.T) {
+	r := NewRegistry()
+	var live atomic.Int64
+	r.Gauge("live", live.Load)
+	r.Publish("label", func() any { return "hello" })
+	src := &fakeSource{}
+	src.ObsPublish(r, "sub.")
+
+	live.Store(7)
+	src.n.Store(42)
+	snap := r.Snapshot()
+	if snap["live"] != int64(7) || snap["sub.n"] != int64(42) || snap["label"] != "hello" {
+		t.Fatalf("snapshot = %v", snap)
+	}
+
+	// Vars sample at call time: a later snapshot sees the new value.
+	live.Store(8)
+	if r.Snapshot()["live"] != int64(8) {
+		t.Fatal("registry served a stale value")
+	}
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("handler body not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if decoded["live"] != float64(8) {
+		t.Fatalf("handler served %v", decoded["live"])
+	}
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSlowRingKeepsSlowest(t *testing.T) {
+	r := NewSlowRing(4)
+	rng := rand.New(rand.NewSource(11))
+	var all []time.Duration
+	for i := 0; i < 1000; i++ {
+		d := time.Duration(rng.Intn(1_000_000)) * time.Nanosecond
+		all = append(all, d)
+		r.Offer(&Trace{Seq: uint64(i), Total: d})
+	}
+	got := r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("retained %d traces, want 4", len(got))
+	}
+	// The retained set must be exactly the 4 slowest offers.
+	want := append([]time.Duration(nil), all...)
+	for i := 0; i < len(want); i++ {
+		for j := i + 1; j < len(want); j++ {
+			if want[j] > want[i] {
+				want[i], want[j] = want[j], want[i]
+			}
+		}
+	}
+	for i, tr := range got {
+		if tr.Total != want[i] {
+			t.Fatalf("rank %d: retained %v, want %v", i, tr.Total, want[i])
+		}
+	}
+	if got[0].Total < got[1].Total {
+		t.Fatal("snapshot not sorted slowest-first")
+	}
+}
+
+func TestSlowRingFastPathThreshold(t *testing.T) {
+	r := NewSlowRing(2)
+	r.Offer(&Trace{Total: 100})
+	r.Offer(&Trace{Total: 200})
+	if f := r.floor.Load(); f != 100 {
+		t.Fatalf("floor = %d, want 100", f)
+	}
+	r.Offer(&Trace{Total: 50}) // below floor: dropped on the fast path
+	r.Offer(&Trace{Total: 150})
+	got := r.Snapshot()
+	if got[0].Total != 200 || got[1].Total != 150 {
+		t.Fatalf("retained %v/%v, want 200/150", got[0].Total, got[1].Total)
+	}
+	if f := r.floor.Load(); f != 150 {
+		t.Fatalf("floor = %d, want 150", f)
+	}
+}
+
+func TestSlowRingConcurrent(t *testing.T) {
+	r := NewSlowRing(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				r.Offer(&Trace{Total: time.Duration(w*5000 + i)})
+				if i%500 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := r.Snapshot()
+	if len(got) != 8 {
+		t.Fatalf("retained %d, want 8", len(got))
+	}
+	// The slowest offer overall must have been retained.
+	if got[0].Total != time.Duration(8*5000-1) {
+		t.Fatalf("slowest retained = %v, want %v", got[0].Total, time.Duration(8*5000-1))
+	}
+}
+
+func TestTraceStageSum(t *testing.T) {
+	tr := Trace{Wait: 1, Plan: 2, Engine: 3, DMaint: 4, Publish: 5, Total: 15}
+	if tr.StageSum() != 15 {
+		t.Fatalf("stage sum %v, want 15", tr.StageSum())
+	}
+	spans := tr.Stages()
+	if len(spans) != len(StageNames) {
+		t.Fatalf("stages %d, want %d", len(spans), len(StageNames))
+	}
+	for i, sp := range spans {
+		if sp.Stage != StageNames[i] {
+			t.Fatalf("stage %d named %q, want %q", i, sp.Stage, StageNames[i])
+		}
+	}
+}

@@ -40,6 +40,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Machine is an EREW PRAM cost accountant with a processor budget. The zero
@@ -107,6 +109,20 @@ func (m *Machine) Reset() {
 	m.depth.Store(0)
 	m.work.Store(0)
 	m.steps.Store(0)
+}
+
+// ObsPublish registers the machine's model-cost gauges (depth, work, steps,
+// procs) and its fixed worker-pool width under prefix, implementing
+// obs.Source: the serving layer publishes each shard's machine through the
+// same registry as its latency histograms. Every gauge is an atomic load,
+// so sampling never contends with charging.
+func (m *Machine) ObsPublish(r *obs.Registry, prefix string) {
+	r.Gauge(prefix+"depth", m.Depth)
+	r.Gauge(prefix+"work", m.Work)
+	r.Gauge(prefix+"steps", m.Steps)
+	r.Gauge(prefix+"procs", m.procs.Load)
+	workers := int64(m.workers)
+	r.Gauge(prefix+"workers", func() int64 { return workers })
 }
 
 // Charge adds an explicit (depth, work) cost, for callers implementing their

@@ -1,0 +1,77 @@
+package service
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// debugPayload is the /debug/service document: one consistent sample of the
+// full metrics tree plus the retained slowest traces, JSON-encoded.
+type debugPayload struct {
+	Now        time.Time   `json:"now"`
+	Shards     int         `json:"shards"`
+	Metrics    Metrics     `json:"metrics"`
+	SlowTraces []obs.Trace `json:"slow_traces"`
+}
+
+// DebugHandler returns an http.Handler exposing the service's live
+// internals:
+//
+//	/debug/service         full Metrics sample + slowest retained traces (JSON)
+//	/debug/service/traces  just the slowest-trace ring, slowest first (JSON)
+//	/debug/obs             the obs.Registry (per-shard gauges, histograms,
+//	                       PRAM accounting, snapquery cache), one key per line
+//	/debug/vars            process-wide expvar (memstats, cmdline)
+//	/debug/pprof/          CPU/heap/goroutine/block profiles
+//
+// Every endpoint samples atomics and read locks only — hitting it never
+// blocks a shard's update loop. Mount it on any mux or serve it directly:
+//
+//	go http.ListenAndServe("localhost:6060", svc.DebugHandler())
+//
+// The pprof and expvar handlers are the package-level ones, so profiles
+// cover the whole process, not just this Service.
+func (s *Service) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/service", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, debugPayload{
+			Now:        time.Now(),
+			Shards:     len(s.shards),
+			Metrics:    s.Metrics(),
+			SlowTraces: s.SlowTraces(),
+		})
+	})
+	mux.HandleFunc("/debug/service/traces", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.SlowTraces())
+	})
+	mux.Handle("/debug/obs", s.reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("dfs service debug endpoints:\n" +
+			"  /debug/service\n  /debug/service/traces\n  /debug/obs\n" +
+			"  /debug/vars\n  /debug/pprof/\n"))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

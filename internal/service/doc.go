@@ -96,11 +96,45 @@
 //     incarnation change, drops the stale entry, and never links a derived
 //     handle across incarnations.
 //
-// Metrics reports the cache behaviour per shard: IndexCacheHits/Misses/
-// Evictions/Dropped/Size, plus the build-vs-patch split — IndexBuilds and
-// IndexBuildTime against IndexPatches, IndexPatchTime and
-// IndexPatchFallbacks (fallbacks also count as builds, since that is the
-// work they did).
+// # Observability
+//
+// The serving stack instruments itself with the dependency-free primitives
+// of internal/obs; everything below samples atomics and read locks only,
+// so observing the service never blocks an update loop.
+//
+// Metrics returns one consistent sample of every shard: queue depth and
+// capacity plus the per-window high-water mark (the deepest the mailbox
+// has been since the previous call — a burst that arrived and drained
+// between two polls is still visible), applied/rejected counts, the
+// windowed update rate, snapshot staleness, and the shard machine's PRAM
+// depth/work accounting. Rate and high-water windows are shared by all
+// Metrics callers and reset at each call; every shard measures its first
+// window from one common service-start instant, so the per-shard windows
+// of any single call — first or not — span the same interval and the
+// aggregate rate is always a sum over one common window.
+//
+// Latency ships as lock-free log-bucketed histograms (obs.Histogram):
+// maintainer apply time, mailbox wait, snapshot publish, batch-round size
+// on the write path; index build, index patch and handle resolution on the
+// read path (from the shard's snapquery cache, alongside the cache
+// counters — IndexCacheHits/Misses/Evictions/Dropped/Size and the
+// build-vs-patch split, where patch fallbacks also count as builds since
+// that is the work they did). Per-shard snapshots merge exactly, and the
+// aggregate Metrics carries that merge plus a cumulative StageTimes
+// breakdown of where the update loops' wall-clock went.
+//
+// Every applied update is traced stage by stage (obs.Trace: mailbox wait →
+// plan → reroot engine → D maintenance → publish, with outcome tags, delta
+// sizes and PRAM costs; the five stages are disjoint and sum to the
+// trace's total). Each shard retains its Config.SlowTraces slowest updates
+// in a lock-free-admission ring; SlowTraces returns the merged slowest-
+// first view.
+//
+// DebugHandler serves all of it over HTTP — /debug/service (metrics +
+// traces as JSON), /debug/obs (the obs.Registry every shard publishes its
+// gauges, histograms, machine and index cache into; see Obs), /debug/vars
+// (expvar) and /debug/pprof — so a running service (e.g. dfsload
+// -debugaddr) can be inspected with curl alone.
 //
 // # Stats threading
 //

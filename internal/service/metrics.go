@@ -1,21 +1,60 @@
 package service
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// StageTimes is the cumulative wall-clock a shard's update loop spent in
+// each trace stage across every applied update (see obs.Trace for the
+// stage definitions). The five fields are disjoint, so their sum is the
+// loop's total instrumented update time.
+type StageTimes struct {
+	Wait    time.Duration `json:"wait"`
+	Plan    time.Duration `json:"plan"`
+	Engine  time.Duration `json:"engine"`
+	DMaint  time.Duration `json:"dmaint"`
+	Publish time.Duration `json:"publish"`
+}
+
+// Add folds o into s.
+func (s *StageTimes) Add(o StageTimes) {
+	s.Wait += o.Wait
+	s.Plan += o.Plan
+	s.Engine += o.Engine
+	s.DMaint += o.DMaint
+	s.Publish += o.Publish
+}
+
+// Total returns the sum of the five stages.
+func (s StageTimes) Total() time.Duration {
+	return s.Wait + s.Plan + s.Engine + s.DMaint + s.Publish
+}
 
 // ShardMetrics is one shard's operational counters, sampled at call time.
 type ShardMetrics struct {
 	Shard      int
 	Graphs     int
-	QueueDepth int // tasks waiting in the mailbox
+	QueueDepth int // tasks waiting in the mailbox at sample time
 	QueueCap   int
-	Updates    uint64 // updates applied since start
-	Rejected   uint64 // updates the maintainer rejected
+	// QueueHighWater is the deepest the mailbox has been since the previous
+	// Metrics call (raised by every submission), so a burst that arrived
+	// and drained entirely between two polls is still visible. Like the
+	// UpdatesPerSec window, it resets at each sample: all Metrics callers
+	// share one high-water window per shard.
+	QueueHighWater int
+	Updates        uint64 // updates applied since start
+	Rejected       uint64 // updates the maintainer rejected
 	// UpdatesPerSec is the shard loop's applied-update rate over the window
 	// since the previous Metrics call (all callers share one window per
 	// shard). The first sample has no previous call, so it reports the
-	// lifetime average since shard start; subsequent samples are true
-	// deltas, so a stalled shard decays to 0 on the next poll instead of
-	// coasting on its lifetime average forever.
+	// lifetime average since service start; because every shard shares the
+	// same start instant and every later sample is cut at the same poll
+	// time, the per-shard windows of one Metrics call always span the same
+	// interval — first call or not — and the aggregate is a sum of rates
+	// over one common window. A stalled shard decays to 0 on the next poll
+	// instead of coasting on its lifetime average forever.
 	UpdatesPerSec float64
 	// OldestSnapshotAge is the age of the stalest published snapshot among
 	// the shard's graphs (0 when the shard has none): how far behind the
@@ -28,6 +67,24 @@ type ShardMetrics struct {
 	PRAMDepth int64
 	PRAMWork  int64
 	PRAMProcs int
+
+	// Write-path latency distributions (log-bucketed histograms; nanosecond
+	// samples unless noted): ApplyHist is the maintainer apply time per
+	// update (rejected updates included — they did work), MailboxWaitHist
+	// the submit→receive wait per task, PublishHist the snapshot
+	// publication time per publication, and BatchSizeHist the entries per
+	// coalesced batch round (unitless). Snapshots merge across shards; the
+	// aggregate Metrics carries exactly that merge.
+	ApplyHist       obs.HistSnapshot
+	MailboxWaitHist obs.HistSnapshot
+	PublishHist     obs.HistSnapshot
+	BatchSizeHist   obs.HistSnapshot
+
+	// Stages is the cumulative stage-time breakdown of every applied
+	// update: where the shard's update wall-clock actually went (mailbox
+	// wait vs planning queries vs rerooting vs D maintenance vs publish).
+	Stages StageTimes
+
 	// Index-cache counters of the shard's snapshot analytics engine:
 	// IndexCacheHits/Misses count Query resolutions served from / added to
 	// the per-shard LRU of derived-index bundles, IndexCacheEvictions the
@@ -40,7 +97,9 @@ type ShardMetrics struct {
 	// from the snapshot delta (IndexPatchTime their cost), and
 	// IndexPatchFallbacks the builds that had a parent on hand but declined
 	// the patch — churn past the ratio threshold or a renumbered vertex
-	// space (fallbacks are also included in IndexBuilds).
+	// space (fallbacks are also included in IndexBuilds). The three
+	// histograms carry the corresponding read-path distributions: per-index
+	// build and patch durations, and handle-resolution latency.
 	IndexCacheHits      uint64
 	IndexCacheMisses    uint64
 	IndexCacheEvictions uint64
@@ -51,15 +110,30 @@ type ShardMetrics struct {
 	IndexPatches        uint64
 	IndexPatchTime      time.Duration
 	IndexPatchFallbacks uint64
+	IndexBuildHist      obs.HistSnapshot
+	IndexPatchHist      obs.HistSnapshot
+	QueryResolveHist    obs.HistSnapshot
 }
 
-// Metrics aggregates the per-shard samples.
+// Metrics aggregates the per-shard samples. Every histogram is the exact
+// merge of the per-shard snapshots taken by the same call, and the
+// aggregate UpdatesPerSec is the sum of per-shard rates over one common
+// window (see ShardMetrics.UpdatesPerSec), so the aggregate is always
+// internally consistent with the Shards slice it ships with.
 type Metrics struct {
 	Shards        []ShardMetrics
 	Graphs        int
 	Updates       uint64
 	Rejected      uint64
 	UpdatesPerSec float64
+
+	// Merged write-path latency distributions and stage breakdown.
+	ApplyHist       obs.HistSnapshot
+	MailboxWaitHist obs.HistSnapshot
+	PublishHist     obs.HistSnapshot
+	BatchSizeHist   obs.HistSnapshot
+	Stages          StageTimes
+
 	// Aggregated index-cache counters across shards.
 	IndexCacheHits      uint64
 	IndexCacheMisses    uint64
@@ -70,6 +144,9 @@ type Metrics struct {
 	IndexPatches        uint64
 	IndexPatchTime      time.Duration
 	IndexPatchFallbacks uint64
+	IndexBuildHist      obs.HistSnapshot
+	IndexPatchHist      obs.HistSnapshot
+	QueryResolveHist    obs.HistSnapshot
 }
 
 // Metrics samples every shard. It takes only read locks and never touches
@@ -99,19 +176,35 @@ func (s *Service) Metrics() Metrics {
 		sh.sampleMu.Unlock()
 		if prevAt.IsZero() {
 			// First sample: no previous call to delta against, so the window
-			// is the shard's whole lifetime.
+			// is the service's whole lifetime (one shared start instant, so
+			// every shard's first window is the same).
 			prevAt, prevCount = sh.started, 0
 		}
 		rate := 0.0
 		if elapsed := now.Sub(prevAt).Seconds(); elapsed > 0 {
 			rate = float64(updates-prevCount) / elapsed
 		}
+		// Reset the queue high-water window to the current depth (never
+		// below it: the tasks queued right now have already been that deep).
+		depth := len(sh.mailbox)
+		hwm := int(sh.queueHWM.Swap(int64(depth)))
+		if depth > hwm {
+			hwm = depth
+		}
+		stages := StageTimes{
+			Wait:    time.Duration(sh.stageNanos[0].Load()),
+			Plan:    time.Duration(sh.stageNanos[1].Load()),
+			Engine:  time.Duration(sh.stageNanos[2].Load()),
+			DMaint:  time.Duration(sh.stageNanos[3].Load()),
+			Publish: time.Duration(sh.stageNanos[4].Load()),
+		}
 		qs := sh.qcache.Stats()
 		out.Shards[i] = ShardMetrics{
 			Shard:               sh.idx,
 			Graphs:              graphs,
-			QueueDepth:          len(sh.mailbox),
+			QueueDepth:          depth,
 			QueueCap:            cap(sh.mailbox),
+			QueueHighWater:      hwm,
 			Updates:             updates,
 			Rejected:            sh.rejected.Load(),
 			UpdatesPerSec:       rate,
@@ -119,6 +212,11 @@ func (s *Service) Metrics() Metrics {
 			PRAMDepth:           sh.mach.Depth(),
 			PRAMWork:            sh.mach.Work(),
 			PRAMProcs:           sh.mach.Procs(),
+			ApplyHist:           sh.applyHist.Snapshot(),
+			MailboxWaitHist:     sh.waitHist.Snapshot(),
+			PublishHist:         sh.publishHist.Snapshot(),
+			BatchSizeHist:       sh.batchHist.Snapshot(),
+			Stages:              stages,
 			IndexCacheHits:      qs.Hits,
 			IndexCacheMisses:    qs.Misses,
 			IndexCacheEvictions: qs.Evictions,
@@ -129,11 +227,20 @@ func (s *Service) Metrics() Metrics {
 			IndexPatches:        qs.Patches,
 			IndexPatchTime:      qs.PatchTime,
 			IndexPatchFallbacks: qs.PatchFallbacks,
+			IndexBuildHist:      qs.BuildHist,
+			IndexPatchHist:      qs.PatchHist,
+			QueryResolveHist:    qs.ResolveHist,
 		}
+		sm := &out.Shards[i]
 		out.Graphs += graphs
 		out.Updates += updates
-		out.Rejected += out.Shards[i].Rejected
+		out.Rejected += sm.Rejected
 		out.UpdatesPerSec += rate
+		out.ApplyHist.Merge(sm.ApplyHist)
+		out.MailboxWaitHist.Merge(sm.MailboxWaitHist)
+		out.PublishHist.Merge(sm.PublishHist)
+		out.BatchSizeHist.Merge(sm.BatchSizeHist)
+		out.Stages.Add(sm.Stages)
 		out.IndexCacheHits += qs.Hits
 		out.IndexCacheMisses += qs.Misses
 		out.IndexCacheEvictions += qs.Evictions
@@ -143,6 +250,9 @@ func (s *Service) Metrics() Metrics {
 		out.IndexPatches += qs.Patches
 		out.IndexPatchTime += qs.PatchTime
 		out.IndexPatchFallbacks += qs.PatchFallbacks
+		out.IndexBuildHist.Merge(sm.IndexBuildHist)
+		out.IndexPatchHist.Merge(sm.IndexPatchHist)
+		out.QueryResolveHist.Merge(sm.QueryResolveHist)
 	}
 	return out
 }

@@ -4,12 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/pram"
 	"repro/internal/snapquery"
 	"repro/internal/tree"
@@ -45,6 +47,10 @@ type Config struct {
 	// ancestors) stay resident in the shard's LRU. Default
 	// snapquery.DefaultCapacity.
 	QueryCache int
+	// SlowTraces is the number of slowest update traces retained per shard
+	// for inspection through SlowTraces() and the debug endpoint. Default
+	// obs.DefaultSlowRingSize.
+	SlowTraces int
 }
 
 func (c Config) withDefaults() Config {
@@ -63,6 +69,9 @@ func (c Config) withDefaults() Config {
 	if c.QueryCache <= 0 {
 		c.QueryCache = snapquery.DefaultCapacity
 	}
+	if c.SlowTraces <= 0 {
+		c.SlowTraces = obs.DefaultSlowRingSize
+	}
 	return c
 }
 
@@ -71,6 +80,7 @@ func (c Config) withDefaults() Config {
 type Service struct {
 	cfg    Config
 	shards []*shard
+	reg    *obs.Registry
 	closed atomic.Bool
 	wg     sync.WaitGroup
 }
@@ -78,7 +88,10 @@ type Service struct {
 // New starts a Service with cfg's shard count and mailbox depth.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	s := &Service{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	s := &Service{cfg: cfg, shards: make([]*shard, cfg.Shards), reg: obs.NewRegistry()}
+	// All shards share one start instant so every first-sample rate window
+	// in Metrics spans the same interval (see Metrics).
+	started := time.Now()
 	for i := range s.shards {
 		sh := &shard{
 			idx:     i,
@@ -86,13 +99,51 @@ func New(cfg Config) *Service {
 			mailbox: make(chan task, cfg.MailboxDepth),
 			graphs:  make(map[GraphID]*graphState),
 			qcache:  snapquery.NewCache(cfg.QueryCache),
-			started: time.Now(),
+			slow:    obs.NewSlowRing(cfg.SlowTraces),
+			started: started,
 		}
 		s.shards[i] = sh
+		s.publishShard(sh)
 		s.wg.Add(1)
 		go sh.run(&s.wg, cfg.Headroom)
 	}
 	return s
+}
+
+// publishShard registers one shard's gauges, latency histograms, machine
+// and index cache in the service registry (served by DebugHandler at
+// /debug/obs). Every Var samples atomics or channel lengths only.
+func (s *Service) publishShard(sh *shard) {
+	prefix := fmt.Sprintf("shard%d.", sh.idx)
+	s.reg.Gauge(prefix+"queue.depth", func() int64 { return int64(len(sh.mailbox)) })
+	s.reg.Gauge(prefix+"queue.cap", func() int64 { return int64(cap(sh.mailbox)) })
+	s.reg.Gauge(prefix+"queue.highwater", sh.queueHWM.Load)
+	s.reg.Gauge(prefix+"updates", func() int64 { return int64(sh.updates.Load()) })
+	s.reg.Gauge(prefix+"rejected", func() int64 { return int64(sh.rejected.Load()) })
+	s.reg.Publish(prefix+"latency.apply", func() any { return sh.applyHist.Snapshot() })
+	s.reg.Publish(prefix+"latency.wait", func() any { return sh.waitHist.Snapshot() })
+	s.reg.Publish(prefix+"latency.publish", func() any { return sh.publishHist.Snapshot() })
+	s.reg.Publish(prefix+"batch.size", func() any { return sh.batchHist.Snapshot() })
+	sh.mach.ObsPublish(s.reg, prefix+"pram.")
+	sh.qcache.ObsPublish(s.reg, prefix+"snapquery.")
+}
+
+// Obs returns the service's observability registry: every shard's gauges
+// and latency histograms, each shard machine's PRAM accounting, and each
+// shard's snapquery cache, published under "shard<i>." prefixes. Callers
+// may publish additional sources into it before serving DebugHandler.
+func (s *Service) Obs() *obs.Registry { return s.reg }
+
+// SlowTraces returns the slowest retained update traces across all shards,
+// slowest first. Each shard retains its Config.SlowTraces slowest updates
+// (by total latency: mailbox wait + apply + publish) since start.
+func (s *Service) SlowTraces() []obs.Trace {
+	var out []obs.Trace
+	for _, sh := range s.shards {
+		out = append(out, sh.slow.Snapshot()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	return out
 }
 
 // NumShards returns the configured shard count.

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/pram"
 	"repro/internal/snapquery"
 )
@@ -26,12 +27,13 @@ const (
 // per kind; fut is always non-nil for create/drop/apply, and batch entries
 // carry their own futures.
 type task struct {
-	kind    taskKind
-	id      GraphID
-	g       *graph.Graph // create: initial graph (cloned by the maintainer)
-	upd     core.Update  // apply
-	entries []batchEntry // batch
-	fut     *Future
+	kind     taskKind
+	id       GraphID
+	g        *graph.Graph // create: initial graph (cloned by the maintainer)
+	upd      core.Update  // apply
+	entries  []batchEntry // batch
+	fut      *Future
+	enqueued time.Time // stamped by submit; mailbox wait = receive - enqueued
 }
 
 type batchEntry struct {
@@ -118,6 +120,26 @@ type shard struct {
 	sampleMu     sync.Mutex
 	sampledAt    time.Time // zero until the first Metrics() call
 	sampledCount uint64
+
+	// queueHWM is the deepest the mailbox has been since the last Metrics
+	// sample (submitters CAS it up after every send), so queue spikes
+	// between polls are visible; Metrics reads and resets it per window.
+	queueHWM atomic.Int64
+
+	// Latency distributions of the shard's write path (lock-free; recorded
+	// by the shard loop, sampled by Metrics and the debug endpoint):
+	// maintainer apply time per update, snapshot publish time per
+	// publication, mailbox wait per task, and entries per batch round.
+	applyHist   obs.Histogram
+	waitHist    obs.Histogram
+	publishHist obs.Histogram
+	batchHist   obs.Histogram
+
+	// stageNanos accumulates per-stage wall-clock across every applied
+	// update, indexed like obs.StageNames; slow retains the slowest-K
+	// update traces for inspection.
+	stageNanos [5]atomic.Int64
+	slow       *obs.SlowRing
 }
 
 // submit enqueues t unless the shard is closed. It blocks while the mailbox
@@ -128,7 +150,18 @@ func (sh *shard) submit(t task) error {
 	if sh.closed {
 		return ErrClosed
 	}
+	t.enqueued = time.Now()
 	sh.mailbox <- t
+	// Raise the sample window's queue high-water mark: a burst that drains
+	// before the next Metrics poll still leaves its footprint here.
+	if d := int64(len(sh.mailbox)); d > sh.queueHWM.Load() {
+		for {
+			cur := sh.queueHWM.Load()
+			if d <= cur || sh.queueHWM.CompareAndSwap(cur, d) {
+				break
+			}
+		}
+	}
 	return nil
 }
 
@@ -204,16 +237,23 @@ func (sh *shard) handle(t task, headroom int) {
 			t.fut.resolve(-1, nil, fmt.Errorf("service: graph %q: %w", t.id, ErrNoGraph))
 			return
 		}
-		v, err := gs.dd.Apply(t.upd)
+		var tr obs.Trace
+		v, err := sh.applyTraced(&tr, t.id, gs, t.upd, t.enqueued, 1)
 		if err != nil {
 			sh.rejected.Add(1)
 			gs.invalidatePending()
+			sh.sealTrace(&tr, 0, 0)
 			t.fut.resolve(-1, gs.snap.Load(), err)
 			return
 		}
-		sh.updates.Add(1)
+		tr.Seq = sh.updates.Add(1)
 		gs.absorb(gs.dd.LastDelta())
-		t.fut.resolve(v, sh.publish(t.id, gs), nil)
+		p0 := time.Now()
+		snap := sh.publish(t.id, gs)
+		pd := time.Since(p0)
+		sh.publishHist.Record(pd)
+		sh.sealTrace(&tr, pd, snap.Version)
+		t.fut.resolve(v, snap, nil)
 
 	case taskBatch:
 		// One coalesced round: apply every entry in order, but publish each
@@ -225,7 +265,9 @@ func (sh *shard) handle(t task, headroom int) {
 			vertex int
 			gs     *graphState
 			err    error
+			tr     obs.Trace
 		}
+		sh.batchHist.RecordValue(int64(len(t.entries)))
 		resolutions := make([]resolution, 0, len(t.entries))
 		touched := make(map[GraphID]*graphState)
 		for _, en := range t.entries {
@@ -234,24 +276,86 @@ func (sh *shard) handle(t task, headroom int) {
 				en.fut.resolve(-1, nil, fmt.Errorf("service: graph %q: %w", en.id, ErrNoGraph))
 				continue
 			}
-			v, err := gs.dd.Apply(en.upd)
-			if err != nil {
+			r := resolution{fut: en.fut, gs: gs}
+			r.vertex, r.err = sh.applyTraced(&r.tr, en.id, gs, en.upd, t.enqueued, len(t.entries))
+			if r.err != nil {
 				sh.rejected.Add(1)
 				gs.invalidatePending()
 			} else {
-				sh.updates.Add(1)
+				r.tr.Seq = sh.updates.Add(1)
 				gs.absorb(gs.dd.LastDelta())
 				touched[en.id] = gs
 			}
-			resolutions = append(resolutions, resolution{fut: en.fut, vertex: v, gs: gs, err: err})
+			resolutions = append(resolutions, r)
 		}
 		for id, gs := range touched {
+			p0 := time.Now()
 			sh.publish(id, gs)
+			sh.publishHist.Record(time.Since(p0))
 		}
-		for _, r := range resolutions {
-			r.fut.resolve(r.vertex, r.gs.snap.Load(), r.err)
+		for i := range resolutions {
+			r := &resolutions[i]
+			// Batch traces carry no publish span: the round's one publish
+			// per graph is recorded in the publish histogram instead of
+			// being attributed to an arbitrary entry.
+			snap := r.gs.snap.Load()
+			version := uint64(0)
+			if r.err == nil && snap != nil {
+				version = snap.Version
+			}
+			sh.sealTrace(&r.tr, 0, version)
+			r.fut.resolve(r.vertex, snap, r.err)
 		}
 	}
+}
+
+// applyTraced runs one update on gs's maintainer with stage
+// instrumentation: it stamps tr with the mailbox wait, threads tr through
+// the maintainer (which fills the engine/D-maintenance spans and the
+// outcome tags), computes the plan span as the apply remainder, charges the
+// update's PRAM depth/work delta, and records the wait/apply histograms.
+func (sh *shard) applyTraced(tr *obs.Trace, id GraphID, gs *graphState, u core.Update, enqueued time.Time, batch int) (int, error) {
+	recv := time.Now()
+	*tr = obs.Trace{
+		Graph: string(id),
+		Shard: sh.idx,
+		Kind:  u.Kind.String(),
+		Start: recv,
+		Wait:  recv.Sub(enqueued),
+		Batch: batch,
+	}
+	d0, w0 := sh.mach.Depth(), sh.mach.Work()
+	gs.dd.SetTrace(tr)
+	v, err := gs.dd.Apply(u)
+	gs.dd.SetTrace(nil)
+	apply := time.Since(recv)
+	tr.Depth, tr.Work = sh.mach.Depth()-d0, sh.mach.Work()-w0
+	if plan := apply - tr.Engine - tr.DMaint; plan > 0 {
+		tr.Plan = plan
+	}
+	if err != nil {
+		tr.Outcome = "rejected"
+		tr.Err = err.Error()
+	}
+	sh.waitHist.Record(tr.Wait)
+	sh.applyHist.Record(apply)
+	return v, err
+}
+
+// sealTrace finalizes tr (publish span, published version, total), folds
+// its stages into the shard's cumulative stage-time breakdown, and offers
+// it to the slowest-K ring. Total is defined as the stage sum, so a
+// retained trace's stages always account for its whole recorded latency.
+func (sh *shard) sealTrace(tr *obs.Trace, publish time.Duration, version uint64) {
+	tr.Publish = publish
+	tr.Version = version
+	tr.Total = tr.StageSum()
+	sh.stageNanos[0].Add(int64(tr.Wait))
+	sh.stageNanos[1].Add(int64(tr.Plan))
+	sh.stageNanos[2].Add(int64(tr.Engine))
+	sh.stageNanos[3].Add(int64(tr.DMaint))
+	sh.stageNanos[4].Add(int64(tr.Publish))
+	sh.slow.Offer(tr)
 }
 
 // publish freezes gs's current state into a new immutable snapshot and

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/tree"
 )
 
@@ -41,6 +42,15 @@ type Cache struct {
 	patchNanos     atomic.Int64
 	patchFallbacks atomic.Uint64
 	size           atomic.Int64 // mirrors lru.Len() so Stats never takes mu
+
+	// Latency distributions of the read path: per-index fresh builds,
+	// per-index patch derivations (what observe's sums above total), and
+	// handle resolution (Handle/HandleDerived — the lock window plus, on a
+	// miss, handle construction; index work happens later, at first query,
+	// and lands in the build/patch histograms).
+	buildHist   obs.Histogram
+	patchHist   obs.Histogram
+	resolveHist obs.Histogram
 }
 
 // NewCache creates a cache retaining up to capacity versions
@@ -64,13 +74,16 @@ func (c *Cache) observe(outcome buildOutcome, d time.Duration) {
 	case outcomePatch:
 		c.patches.Add(1)
 		c.patchNanos.Add(int64(d))
+		c.patchHist.Record(d)
 	case outcomeFallback:
 		c.patchFallbacks.Add(1)
 		c.builds.Add(1)
 		c.buildNanos.Add(int64(d))
+		c.buildHist.Record(d)
 	default:
 		c.builds.Add(1)
 		c.buildNanos.Add(int64(d))
+		c.buildHist.Record(d)
 	}
 }
 
@@ -89,6 +102,8 @@ func (c *Cache) Handle(key Key, g graph.Adjacency, t *tree.Tree, pseudo int) *Ha
 // rather than rebuild. A missing or stale parent entry silently degrades to
 // the fresh-build path. parentTree nil means no delta is available.
 func (c *Cache) HandleDerived(key Key, g graph.Adjacency, t *tree.Tree, pseudo int, parentKey Key, parentTree *tree.Tree, delta Delta) *Handle {
+	start := time.Now()
+	defer func() { c.resolveHist.Record(time.Since(start)) }()
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
 		h := el.Value.(*Handle)
@@ -166,6 +181,13 @@ type Stats struct {
 	PatchTime      time.Duration
 	PatchFallbacks uint64 // patches declined after inspecting the delta
 	Size           int    // versions currently retained
+
+	// Latency distributions behind the sums above: per-index build and
+	// patch durations, and handle-resolution latency (the read-path entry
+	// point). Merge per-shard snapshots for service-wide percentiles.
+	BuildHist   obs.HistSnapshot
+	PatchHist   obs.HistSnapshot
+	ResolveHist obs.HistSnapshot
 }
 
 // Stats samples the counters. It is lock-free (atomics only), so metrics
@@ -182,5 +204,30 @@ func (c *Cache) Stats() Stats {
 		PatchTime:      time.Duration(c.patchNanos.Load()),
 		PatchFallbacks: c.patchFallbacks.Load(),
 		Size:           int(c.size.Load()),
+		BuildHist:      c.buildHist.Snapshot(),
+		PatchHist:      c.patchHist.Snapshot(),
+		ResolveHist:    c.resolveHist.Snapshot(),
 	}
+}
+
+// ObsPublish registers the cache's counters and latency histograms under
+// prefix, implementing obs.Source. Every published Var samples atomics
+// only, so polling never contends with the Handle hot path.
+func (c *Cache) ObsPublish(r *obs.Registry, prefix string) {
+	gauge := func(name string, u *atomic.Uint64) {
+		r.Gauge(prefix+name, func() int64 { return int64(u.Load()) })
+	}
+	gauge("hits", &c.hits)
+	gauge("misses", &c.misses)
+	gauge("evictions", &c.evictions)
+	gauge("dropped", &c.dropped)
+	gauge("builds", &c.builds)
+	gauge("patches", &c.patches)
+	gauge("patch_fallbacks", &c.patchFallbacks)
+	r.Gauge(prefix+"size", c.size.Load)
+	r.Gauge(prefix+"build_ns", c.buildNanos.Load)
+	r.Gauge(prefix+"patch_ns", c.patchNanos.Load)
+	r.Publish(prefix+"build_latency", func() any { return c.buildHist.Snapshot() })
+	r.Publish(prefix+"patch_latency", func() any { return c.patchHist.Snapshot() })
+	r.Publish(prefix+"resolve_latency", func() any { return c.resolveHist.Snapshot() })
 }
