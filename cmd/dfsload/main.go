@@ -22,12 +22,17 @@
 package main
 
 import (
+	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,10 +55,37 @@ func main() {
 		duration = flag.Duration("duration", 5*time.Second, "load duration")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		dbgAddr  = flag.String("debugaddr", "", "serve the live debug endpoint (JSON metrics, slow traces, pprof) on this address for the whole run, e.g. localhost:6060")
+		walDir   = flag.String("wal", "", "enable durability: per-shard write-ahead log + checkpoints in this directory")
+		walSync  = flag.String("walfsync", "batch", "WAL fsync policy: batch (group commit), always, interval")
+		walEvery = flag.Int("walcheckpoint", 0, "checkpoint a shard every N applied updates (0 = default)")
+		ackDir   = flag.String("acklog", "", "crash-harness mode: writers record intended and acknowledged updates in this directory")
+		recover_ = flag.Bool("recoververify", false, "recover from -wal, verify the replayed state against -acklog, and exit")
 	)
 	flag.Parse()
 
-	svc := dfs.NewService(dfs.ServiceConfig{Shards: *shards, QueryCache: *qcache})
+	cfg := dfs.ServiceConfig{Shards: *shards, QueryCache: *qcache}
+	if *walDir != "" {
+		var policy = dfs.WALSyncBatch
+		switch *walSync {
+		case "batch":
+		case "always":
+			policy = dfs.WALSyncAlways
+		case "interval":
+			policy = dfs.WALSyncInterval
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -walfsync %q (want batch, always or interval)\n", *walSync)
+			os.Exit(2)
+		}
+		cfg.WAL = &dfs.WALConfig{Dir: *walDir, Policy: policy, CheckpointEvery: *walEvery}
+	}
+	svc, err := dfs.OpenService(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "open service: %v\n", err)
+		os.Exit(1)
+	}
+	if *recover_ {
+		os.Exit(recoverVerify(svc, *ackDir, *graphs, *n, *deg, *seed))
+	}
 	if *dbgAddr != "" {
 		go func() {
 			fmt.Printf("debug endpoint on http://%s/debug/service\n", *dbgAddr)
@@ -62,19 +94,29 @@ func main() {
 			}
 		}()
 	}
+	svc.WaitRecovered()
 	ids := make([]dfs.GraphID, *graphs)
 	setup := time.Now()
+	recovered := 0
 	for i := range ids {
 		ids[i] = dfs.GraphID(fmt.Sprintf("tenant-%04d", i))
 		rng := rand.New(rand.NewSource(*seed + int64(i)))
 		g := dfs.GnpConnected(*n, *deg/float64(*n), rng)
-		if _, err := svc.CreateGraph(ids[i], g); err != nil {
+		switch _, err := svc.CreateGraph(ids[i], g); {
+		case err == nil:
+		case errors.Is(err, dfs.ErrGraphExists):
+			// Durable restart: the graph came back from the WAL directory.
+			recovered++
+		case errors.Is(err, dfs.ErrClosed):
+			fmt.Fprintln(os.Stderr, "service closed during setup")
+			os.Exit(1)
+		default:
 			fmt.Fprintf(os.Stderr, "create %s: %v\n", ids[i], err)
 			os.Exit(1)
 		}
 	}
-	fmt.Printf("created %d graphs (n=%d, deg=%.1f) on %d shards in %v\n",
-		*graphs, *n, *deg, *shards, time.Since(setup).Round(time.Millisecond))
+	fmt.Printf("created %d graphs (%d recovered; n=%d, deg=%.1f) on %d shards in %v\n",
+		*graphs, recovered, *n, *deg, *shards, time.Since(setup).Round(time.Millisecond))
 
 	var (
 		stop                      atomic.Bool
@@ -93,6 +135,24 @@ func main() {
 		wgW.Add(1)
 		go func(w int) {
 			defer wgW.Done()
+			// Crash-harness mode: record every update before submitting it
+			// (intent) and again once durably acknowledged (ack). The intent
+			// file reaches the page cache before the service sees the update,
+			// so after kill -9 the recovered per-graph state must be a prefix
+			// of the intent sequence at least as long as the acked prefix —
+			// exactly what -recoververify checks.
+			var ack *os.File
+			if *ackDir != "" {
+				f, err := os.OpenFile(
+					filepath.Join(*ackDir, fmt.Sprintf("writer-%03d.log", w)),
+					os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					fatal <- err
+					return
+				}
+				ack = f
+				defer f.Close()
+			}
 			rng := rand.New(rand.NewSource(*seed + 10_000 + int64(w)))
 			var mine []dfs.GraphID
 			mirrors := map[dfs.GraphID]*dfs.Graph{}
@@ -125,6 +185,11 @@ func main() {
 					}
 					items = append(items, dfs.BatchItem{Graph: id, Update: u})
 				}
+				if ack != nil {
+					for _, it := range items {
+						fmt.Fprintf(ack, "I %s %d %d %d\n", it.Graph, it.Update.Kind, it.Update.U, it.Update.V)
+					}
+				}
 				var futs []*dfs.UpdateFuture
 				var err error
 				if *batch == 1 {
@@ -136,11 +201,14 @@ func main() {
 				if err != nil {
 					return // service closing
 				}
-				for _, fut := range futs {
+				for i, fut := range futs {
 					if _, _, err := fut.Wait(); err != nil {
 						conflicts.Add(1)
 					} else {
 						applied.Add(1)
+						if ack != nil {
+							fmt.Fprintf(ack, "A %s\n", items[i].Graph)
+						}
 					}
 				}
 			}
@@ -309,6 +377,136 @@ func main() {
 			m.IndexPatches, m.IndexBuilds, m.IndexPatchFallbacks,
 			meanPatch.Round(time.Microsecond))
 	}
+}
+
+// intent is one update a crash-harness writer recorded before submitting.
+type intent struct {
+	kind, u, v int
+}
+
+// recoverVerify is the crash-harness verifier. After a kill -9 of a
+// `dfsload -wal -acklog` run, main reopens the durable service and calls
+// this with the same workload flags. It replays each graph's recorded
+// intent prefix against a regenerated initial graph and requires the
+// recovered state to match exactly:
+//
+//   - per graph, acked <= recovered version <= intents (no durably
+//     acknowledged update may be lost; nothing beyond what was submitted
+//     may appear);
+//   - the recovered edge set equals the intent-prefix replay of the same
+//     length (writers own disjoint graphs and shards apply in submission
+//     order, so the prefix is deterministic);
+//   - the recovered tree passes full DFS verification and the maintainer's
+//     internal structure passes CheckSynced.
+func recoverVerify(svc *dfs.Service, ackDir string, graphs, n int, deg float64, seed int64) int {
+	defer svc.Close()
+	svc.WaitRecovered()
+	if ackDir == "" {
+		fmt.Fprintln(os.Stderr, "-recoververify needs -acklog")
+		return 2
+	}
+	files, err := filepath.Glob(filepath.Join(ackDir, "writer-*.log"))
+	if err != nil || len(files) == 0 {
+		fmt.Fprintf(os.Stderr, "no intent logs under %s (err=%v)\n", ackDir, err)
+		return 2
+	}
+	sort.Strings(files)
+	intents := map[dfs.GraphID][]intent{}
+	acked := map[dfs.GraphID]int{}
+	torn := 0
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "open %s: %v\n", path, err)
+			return 2
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			fields := strings.Fields(sc.Text())
+			switch {
+			case len(fields) == 5 && fields[0] == "I":
+				var in intent
+				if _, err := fmt.Sscanf(sc.Text(), "I %s %d %d %d",
+					new(string), &in.kind, &in.u, &in.v); err != nil {
+					torn++ // torn tail line: page-cache write cut mid-record
+					continue
+				}
+				id := dfs.GraphID(fields[1])
+				intents[id] = append(intents[id], in)
+			case len(fields) == 2 && fields[0] == "A":
+				acked[dfs.GraphID(fields[1])]++
+			default:
+				torn++
+			}
+		}
+		f.Close()
+	}
+
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "RECOVERY FAILED: "+format+"\n", args...)
+		return 1
+	}
+	var verified, replayed, beyondAck int
+	for i := 0; i < graphs; i++ {
+		id := dfs.GraphID(fmt.Sprintf("tenant-%04d", i))
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		mirror := dfs.GnpConnected(n, deg/float64(n), rng)
+		snap, err := svc.Snapshot(id)
+		if errors.Is(err, dfs.ErrUnknownGraph) {
+			if acked[id] > 0 {
+				return fail("%s: %d acked updates but the graph did not survive", id, acked[id])
+			}
+			continue // killed before the graph's creation was acknowledged
+		}
+		if err != nil {
+			return fail("%s: snapshot: %v", id, err)
+		}
+		v := int(snap.Version)
+		if v < acked[id] {
+			return fail("%s: recovered at version %d but %d updates were durably acked", id, v, acked[id])
+		}
+		if v > len(intents[id]) {
+			return fail("%s: recovered at version %d beyond the %d recorded intents", id, v, len(intents[id]))
+		}
+		for j, in := range intents[id][:v] {
+			var aerr error
+			switch {
+			case in.kind == int(dfs.InsertEdge):
+				aerr = mirror.InsertEdge(in.u, in.v)
+			case in.kind == int(dfs.DeleteEdge):
+				aerr = mirror.DeleteEdge(in.u, in.v)
+			default:
+				aerr = fmt.Errorf("unexpected update kind %d", in.kind)
+			}
+			if aerr != nil {
+				return fail("%s: intent %d/%d does not replay: %v", id, j+1, v, aerr)
+			}
+		}
+		if mirror.NumEdges() != snap.Graph.NumEdges() || mirror.NumVertices() != snap.Graph.NumVertices() {
+			return fail("%s: recovered graph has %d edges / %d vertices, intent replay has %d / %d",
+				id, snap.Graph.NumEdges(), snap.Graph.NumVertices(), mirror.NumEdges(), mirror.NumVertices())
+		}
+		for _, e := range mirror.Edges() {
+			if !snap.Graph.HasEdge(e.U, e.V) {
+				return fail("%s: edge (%d,%d) present in intent replay, missing after recovery", id, e.U, e.V)
+			}
+		}
+		if err := snap.Verify(); err != nil {
+			return fail("%s: recovered tree is not a DFS tree: %v", id, err)
+		}
+		if err := svc.CheckSynced(id); err != nil {
+			return fail("%s: maintainer out of sync after replay: %v", id, err)
+		}
+		verified++
+		replayed += v
+		beyondAck += v - acked[id]
+	}
+	m := svc.Metrics()
+	fmt.Printf("RECOVERY OK: %d/%d graphs verified, %d updates live (%d beyond last ack), "+
+		"%d WAL records replayed, %d skipped, %d torn tails, %d orphans, %d torn acklog lines\n",
+		verified, graphs, replayed, beyondAck,
+		m.WALReplayed, m.WALSkipped, m.WALTornTails, m.WALOrphanRecords, torn)
+	return 0
 }
 
 // stageLine renders a trace's nonzero stages compactly, pipeline order.

@@ -87,6 +87,19 @@ import (
 	"repro/internal/stream"
 	"repro/internal/tree"
 	"repro/internal/verify"
+	"repro/internal/wal"
+)
+
+// Sentinel errors of the serving layer, matchable with errors.Is against
+// any error the Service returns (wrapped errors carry the graph ID).
+var (
+	// ErrClosed reports a submission to a closed (or closing) Service.
+	ErrClosed = service.ErrClosed
+	// ErrUnknownGraph reports an operation on a GraphID the Service does
+	// not hold.
+	ErrUnknownGraph = service.ErrUnknownGraph
+	// ErrGraphExists reports CreateGraph on an already-registered GraphID.
+	ErrGraphExists = service.ErrGraphExists
 )
 
 // Graph is a mutable simple undirected graph with stable vertex IDs.
@@ -239,8 +252,40 @@ func Preprocess(g *Graph, maxUpdates int) *FaultTolerant {
 	return faulttol.Preprocess(g, maxUpdates)
 }
 
-// NewService starts the multi-graph serving layer.
+// WALConfig enables the serving layer's durability: a per-shard
+// write-ahead log appended (and fsynced per policy) before updates are
+// acknowledged, periodic checkpoints, and crash recovery with degraded
+// snapshot reads while the log tail replays.
+type WALConfig = service.WALConfig
+
+// WALInjector is the crash-injection hook for durability testing: it
+// counts WAL and checkpoint I/O operations and fails the Nth one.
+type WALInjector = wal.Injector
+
+// WAL fsync policies (WALConfig.Policy).
+const (
+	// WALSyncBatch fsyncs once per mailbox round — group commit (default).
+	WALSyncBatch = wal.SyncBatch
+	// WALSyncAlways fsyncs after every record.
+	WALSyncAlways = wal.SyncAlways
+	// WALSyncInterval fsyncs at most once per WALConfig.SyncInterval.
+	WALSyncInterval = wal.SyncInterval
+)
+
+// ShutdownError reports a Service.CloseContext deadline expiring with
+// shards still draining (it lists them with their queue depths).
+type ShutdownError = service.ShutdownError
+
+// NewService starts the multi-graph serving layer. It panics when
+// cfg.WAL is set and recovery fails; durable services should use
+// OpenService.
 func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// OpenService starts the serving layer, recovering durable state from
+// cfg.WAL.Dir when durability is enabled: checkpointed graphs serve
+// (degraded) snapshot reads immediately, log tails replay on the shard
+// loops, and Service.WaitRecovered unblocks once every shard is live.
+func OpenService(cfg ServiceConfig) (*Service, error) { return service.Open(cfg) }
 
 // NewSnapshotQuery builds an uncached analytics handle over any frozen
 // (graph, DFS tree) pair — a retained GraphSnapshot's fields, or a paused

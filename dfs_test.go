@@ -1,6 +1,7 @@
 package dfs
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 )
@@ -97,6 +98,79 @@ func TestSequentialBaselineMode(t *testing.T) {
 	}
 	if seq.LastStats().Sequential == 0 && seq.LastStats().TotalTraversal > 0 {
 		t.Fatal("sequential mode did not use sequential traversals")
+	}
+}
+
+// TestServiceSentinelErrors pins the exported sentinels: downstream code
+// matches them with errors.Is regardless of wrapping.
+func TestServiceSentinelErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewService(ServiceConfig{Shards: 2})
+	g := GnpConnected(12, 0.25, rng)
+	if _, err := s.CreateGraph("g", g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateGraph("g", g); !errors.Is(err, ErrGraphExists) {
+		t.Fatalf("duplicate create = %v, want dfs.ErrGraphExists", err)
+	}
+	if _, err := s.Snapshot("nope"); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("unknown snapshot = %v, want dfs.ErrUnknownGraph", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Apply("g", Update{Kind: InsertEdge, U: 0, V: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("apply after close = %v, want dfs.ErrClosed", err)
+	}
+}
+
+// TestServiceDurableFacade round-trips a graph through OpenService with a
+// WAL: write, close, reopen, and read the recovered state back.
+func TestServiceDurableFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	dir := t.TempDir()
+	g := GnpConnected(16, 0.2, rng)
+
+	s, err := OpenService(ServiceConfig{Shards: 2, WAL: &WALConfig{Dir: dir, Policy: WALSyncBatch}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateGraph("g", g); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := RandomNonEdge(g, rng)
+	if !ok {
+		t.Fatal("no non-edge")
+	}
+	fut, err := s.Apply("g", Update{Kind: InsertEdge, U: e.U, V: e.V})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fut.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenService(ServiceConfig{Shards: 2, WAL: &WALConfig{Dir: dir, Policy: WALSyncBatch}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	s2.WaitRecovered()
+	snap, err := s2.Snapshot("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != 1 {
+		t.Fatalf("recovered version %d, want 1", snap.Version)
+	}
+	if !snap.Graph.HasEdge(e.U, e.V) {
+		t.Fatal("durably acked edge missing after recovery")
+	}
+	if err := Verify(snap.Graph, snap.Tree, snap.PseudoRoot); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -221,6 +221,36 @@ func NewFromState(g *graph.Persistent, t *tree.Tree, d *dstruct.D, pseudo int, m
 	}
 }
 
+// NewDynamicRestored assembles a fully dynamic maintainer over restored
+// state — a deserialized WAL checkpoint, or any (graph, DFS tree) pair the
+// caller already holds: g's DFS tree t rooted at pseudo, with updates
+// already counted against the pair. D (and the engine-facing LCA index it
+// embeds) is built fresh from (g, t), so the result is exactly the
+// maintainer that produced the pair, minus per-update scratch. g and t are
+// retained, not copied: both are immutable under the maintainer's regime
+// (updates path-copy away from g; t is replaced, never mutated, because
+// ReuseTree stays off for restored maintainers).
+func NewDynamicRestored(g *graph.Persistent, t *tree.Tree, pseudo, updates int, opt Options) *DynamicDFS {
+	m := opt.Machine
+	if m == nil {
+		m = pram.NewMachine(2*g.NumEdges() + g.NumVertexSlots() + 1)
+	}
+	dd := &DynamicDFS{
+		g:            g,
+		t:            t,
+		m:            m,
+		pseudo:       pseudo,
+		updates:      updates,
+		rebuildD:     true,
+		fullRebuildD: opt.FullRebuildD,
+		headroom:     pseudo - g.NumVertexSlots(),
+		sequential:   opt.Sequential,
+	}
+	dd.d = dstruct.Build(dd.g, dd.t, dd.m)
+	dd.l = dd.d.LCA
+	return dd
+}
+
 // Graph returns the current version of the maintained graph (identical to
 // Frozen; this is the read accessor, Frozen the publication API).
 func (dd *DynamicDFS) Graph() *graph.Persistent { return dd.Frozen() }

@@ -146,9 +146,66 @@
 // each Snapshot. Concurrent readers of one published structure therefore
 // need no synchronization at all.
 //
+// # Durability
+//
+// With Config.WAL set (use Open, not New, to surface recovery errors) each
+// shard appends every accepted update to its own write-ahead log before the
+// update is acknowledged or its snapshot published: a durably acked update
+// is on disk, and a reader can never observe state that a crash could roll
+// back. Records are length-prefixed, CRC32C-framed (internal/wal), so a
+// torn tail — the expected shape of a kill -9 or power cut mid-append — is
+// detected by framing alone and recovery keeps the clean prefix.
+//
+// Fsync cost is a policy, not a constant. SyncAlways pays one fsync per
+// record (strongest, slowest); SyncBatch — the default — group-commits one
+// fsync per mailbox round, so a k-update batch amortizes the disk barrier
+// k ways while keeping the append-before-ack ordering (BenchmarkWALAppend
+// pins the amortization); SyncInterval bounds the unsynced window by time
+// for workloads that accept losing the last interval on power failure
+// (kill -9 loses nothing under any policy: the page cache survives the
+// process). A WAL I/O error fail-stops the shard's write path — updates
+// are rejected with the sticky error, nothing further is acked — rather
+// than risk acking updates that hit a sequence hole; reads keep serving
+// the last published snapshots.
+//
+// Checkpoints bound both log growth and recovery time: every
+// Config.WAL.CheckpointEvery applied updates the shard serializes each of
+// its graphs' published persistent graph + tree (temp file, fsync, rename)
+// and truncates its log; a graph's creation writes its version-0
+// checkpoint before CreateGraph acknowledges, so a graph exists durably
+// iff its checkpoint does. DropGraph deletes the checkpoints first and
+// then rotates the log, so a same-ID re-creation can never replay records
+// from a dead incarnation (a crash between the two steps leaves orphan
+// records that recovery counts and skips).
+//
+// Recovery (Open with a non-empty WAL directory) is torn-tail tolerant
+// and shard-count independent: all logs are scanned globally, records are
+// rerouted to the current shard mapping, per-graph tails are ordered by
+// sequence number, and anything at or below the checkpoint's sequence is
+// skipped while a genuine gap fails loudly (ErrCorrupt) instead of
+// silently diverging. In the spirit of the paper's fault-tolerant model
+// (Theorem 14) — serve from the preprocessed structure while updates are
+// reapplied — recovered graphs serve degraded reads immediately: their
+// checkpoint snapshots are published before the shard loops start, reads
+// and analytics queries answer from them while each shard replays its
+// tail through the normal maintainer apply path, and the flip from
+// degraded to live is one atomic snapshot publication per graph
+// (Recovering / WaitRecovered expose the transition; a post-recovery
+// checkpoint then re-truncates the logs so restart cost does not
+// accumulate). Crash-injection hooks (wal.Injector: fail or shorten the
+// Nth write, fail the Nth fsync) drive the fault-path tests, and the
+// process-level harness (cmd/dfsload -wal -acklog, TestCrashRecoveryKill9
+// and the CI crash-recovery job) kills a loaded service with SIGKILL and
+// proves the replayed state matches the pre-crash durably-acked state by
+// edge-set equality plus CheckSynced.
+//
 // # Lifecycle
 //
 // Close drains: new submissions are rejected, every task already in a
 // mailbox is processed and its Future resolved, then the shard goroutines
 // exit. Reads keep working after Close (snapshots are retained).
+// CloseContext is the deadline-bounded variant: a wedged or backlogged
+// shard past the deadline yields a *ShutdownError naming each undrained
+// shard with its queue depth (and unwrapping to the context's error)
+// instead of hanging; the shards keep draining in the background.
 package service

@@ -113,6 +113,23 @@ type ShardMetrics struct {
 	IndexBuildHist      obs.HistSnapshot
 	IndexPatchHist      obs.HistSnapshot
 	QueryResolveHist    obs.HistSnapshot
+
+	// Durability counters; all zero when the service runs without a WAL.
+	// WALRecovering is true while the shard still serves degraded checkpoint
+	// snapshots; WALFailed carries the sticky write-path failure (the shard
+	// is fail-stopped — serving reads, rejecting writes — when non-empty).
+	WALEnabled     bool
+	WALRecovering  bool
+	WALFailed      string
+	WALAppends     uint64 // records appended since open
+	WALAppendBytes uint64
+	WALSyncs       uint64 // fsyncs issued (appends / syncs = group-commit fan-in)
+	WALReplayed    uint64 // records replayed by recovery
+	WALSkipped     uint64 // recovery records already covered by a checkpoint
+	WALCheckpoints uint64 // checkpoint files written
+	WALAppendHist  obs.HistSnapshot
+	WALSyncHist    obs.HistSnapshot
+	WALReplayHist  obs.HistSnapshot
 }
 
 // Metrics aggregates the per-shard samples. Every histogram is the exact
@@ -147,6 +164,24 @@ type Metrics struct {
 	IndexBuildHist      obs.HistSnapshot
 	IndexPatchHist      obs.HistSnapshot
 	QueryResolveHist    obs.HistSnapshot
+
+	// Aggregated durability counters (see ShardMetrics). WALRecovering is
+	// true while any shard is degraded; WALTornTails and WALOrphanRecords
+	// describe what the last recovery scan found (a torn final record per
+	// crashed log is normal; orphans belong to dropped graphs).
+	WALEnabled       bool
+	WALRecovering    bool
+	WALAppends       uint64
+	WALAppendBytes   uint64
+	WALSyncs         uint64
+	WALReplayed      uint64
+	WALSkipped       uint64
+	WALCheckpoints   uint64
+	WALTornTails     int
+	WALOrphanRecords int
+	WALAppendHist    obs.HistSnapshot
+	WALSyncHist      obs.HistSnapshot
+	WALReplayHist    obs.HistSnapshot
 }
 
 // Metrics samples every shard. It takes only read locks and never touches
@@ -232,6 +267,36 @@ func (s *Service) Metrics() Metrics {
 			QueryResolveHist:    qs.ResolveHist,
 		}
 		sm := &out.Shards[i]
+		if w := sh.w; w != nil {
+			ls := w.log.Stats()
+			sm.WALEnabled = true
+			sm.WALRecovering = w.recovering.Load()
+			if err := w.err(); err != nil {
+				sm.WALFailed = err.Error()
+			}
+			sm.WALAppends = ls.Appends
+			sm.WALAppendBytes = ls.AppendBytes
+			sm.WALSyncs = ls.Syncs
+			sm.WALReplayed = w.replayed.Load()
+			sm.WALSkipped = w.skipped.Load()
+			sm.WALCheckpoints = w.checkpoints.Load()
+			sm.WALAppendHist = w.appendHist.Snapshot()
+			sm.WALSyncHist = w.syncHist.Snapshot()
+			sm.WALReplayHist = w.replayHist.Snapshot()
+			out.WALEnabled = true
+			if sm.WALRecovering {
+				out.WALRecovering = true
+			}
+			out.WALAppends += sm.WALAppends
+			out.WALAppendBytes += sm.WALAppendBytes
+			out.WALSyncs += sm.WALSyncs
+			out.WALReplayed += sm.WALReplayed
+			out.WALSkipped += sm.WALSkipped
+			out.WALCheckpoints += sm.WALCheckpoints
+			out.WALAppendHist.Merge(sm.WALAppendHist)
+			out.WALSyncHist.Merge(sm.WALSyncHist)
+			out.WALReplayHist.Merge(sm.WALReplayHist)
+		}
 		out.Graphs += graphs
 		out.Updates += updates
 		out.Rejected += sm.Rejected
@@ -254,5 +319,7 @@ func (s *Service) Metrics() Metrics {
 		out.IndexPatchHist.Merge(sm.IndexPatchHist)
 		out.QueryResolveHist.Merge(sm.QueryResolveHist)
 	}
+	out.WALTornTails = s.walTorn
+	out.WALOrphanRecords = s.walOrphans
 	return out
 }

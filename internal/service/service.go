@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -20,11 +21,12 @@ import (
 // GraphID names one tenant graph. IDs hash to shards with FNV-1a.
 type GraphID string
 
-// Sentinel errors. Shard-loop errors wrap these with the graph ID.
+// Sentinel errors. Shard-loop errors wrap these with the graph ID, so
+// callers classify failures with errors.Is.
 var (
-	ErrClosed      = errors.New("service closed")
-	ErrNoGraph     = errors.New("no such graph")
-	ErrGraphExists = errors.New("graph already exists")
+	ErrClosed       = errors.New("service closed")
+	ErrUnknownGraph = errors.New("no such graph")
+	ErrGraphExists  = errors.New("graph already exists")
 )
 
 // Config sizes a Service. The zero value selects the documented defaults.
@@ -51,6 +53,12 @@ type Config struct {
 	// for inspection through SlowTraces() and the debug endpoint. Default
 	// obs.DefaultSlowRingSize.
 	SlowTraces int
+	// WAL enables durability: every applied update is appended to its
+	// shard's write-ahead log (and fsynced per the configured policy) before
+	// its Future resolves, checkpoints bound replay work, and Open recovers
+	// the directory's state after a crash. nil disables durability; use
+	// Open (not New) when set, so recovery failures surface as errors.
+	WAL *WALConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -83,17 +91,48 @@ type Service struct {
 	reg    *obs.Registry
 	closed atomic.Bool
 	wg     sync.WaitGroup
+
+	// Durability state (see wal.go; only meaningful when cfg.WAL is set).
+	// recovered closes once every shard has left degraded-reads mode;
+	// walStale are old-epoch log files removed after a clean recovery;
+	// walTorn/walOrphans describe what the recovery scan found.
+	recovered  chan struct{}
+	walPending atomic.Int32
+	walOK      atomic.Bool
+	walStale   []string
+	walTorn    int
+	walOrphans int
 }
 
-// New starts a Service with cfg's shard count and mailbox depth.
+// New starts a Service with cfg's shard count and mailbox depth. It panics
+// if cfg.WAL is set and recovery fails; durable services should use Open.
 func New(cfg Config) *Service {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open starts a Service, recovering durable state from cfg.WAL.Dir when
+// durability is enabled: the newest valid checkpoint of every graph is
+// published immediately (reads work — degraded — before Open returns), and
+// each shard replays its log tail before processing new writes. Open fails
+// only on unrecoverable durability problems: an unreadable directory, a
+// graph whose checkpoints are all corrupt, or an unopenable log.
+func Open(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
-	s := &Service{cfg: cfg, shards: make([]*shard, cfg.Shards), reg: obs.NewRegistry()}
+	s := &Service{
+		cfg:       cfg,
+		shards:    make([]*shard, cfg.Shards),
+		reg:       obs.NewRegistry(),
+		recovered: make(chan struct{}),
+	}
 	// All shards share one start instant so every first-sample rate window
 	// in Metrics spans the same interval (see Metrics).
 	started := time.Now()
 	for i := range s.shards {
-		sh := &shard{
+		s.shards[i] = &shard{
 			idx:     i,
 			mach:    pram.NewMachineWithWorkers(1, cfg.Workers),
 			mailbox: make(chan task, cfg.MailboxDepth),
@@ -102,12 +141,25 @@ func New(cfg Config) *Service {
 			slow:    obs.NewSlowRing(cfg.SlowTraces),
 			started: started,
 		}
-		s.shards[i] = sh
+	}
+	if cfg.WAL != nil {
+		if err := s.openWAL(); err != nil {
+			for _, sh := range s.shards {
+				if sh.w != nil && sh.w.log != nil {
+					sh.w.log.Close()
+				}
+			}
+			return nil, err
+		}
+	} else {
+		close(s.recovered)
+	}
+	for _, sh := range s.shards {
 		s.publishShard(sh)
 		s.wg.Add(1)
 		go sh.run(&s.wg, cfg.Headroom)
 	}
-	return s
+	return s, nil
 }
 
 // publishShard registers one shard's gauges, latency histograms, machine
@@ -126,6 +178,21 @@ func (s *Service) publishShard(sh *shard) {
 	s.reg.Publish(prefix+"batch.size", func() any { return sh.batchHist.Snapshot() })
 	sh.mach.ObsPublish(s.reg, prefix+"pram.")
 	sh.qcache.ObsPublish(s.reg, prefix+"snapquery.")
+	if w := sh.w; w != nil {
+		s.reg.Gauge(prefix+"wal.appends", func() int64 { return int64(w.log.Stats().Appends) })
+		s.reg.Gauge(prefix+"wal.syncs", func() int64 { return int64(w.log.Stats().Syncs) })
+		s.reg.Gauge(prefix+"wal.replayed", func() int64 { return int64(w.replayed.Load()) })
+		s.reg.Gauge(prefix+"wal.checkpoints", func() int64 { return int64(w.checkpoints.Load()) })
+		s.reg.Gauge(prefix+"wal.recovering", func() int64 {
+			if w.recovering.Load() {
+				return 1
+			}
+			return 0
+		})
+		s.reg.Publish(prefix+"wal.latency.append", func() any { return w.appendHist.Snapshot() })
+		s.reg.Publish(prefix+"wal.latency.sync", func() any { return w.syncHist.Snapshot() })
+		s.reg.Publish(prefix+"wal.latency.replay", func() any { return w.replayHist.Snapshot() })
+	}
 }
 
 // Obs returns the service's observability registry: every shard's gauges
@@ -238,7 +305,7 @@ func (s *Service) ApplyBatch(items []BatchItem) ([]*Future, error) {
 func (s *Service) Snapshot(id GraphID) (*Snapshot, error) {
 	gs := s.shardFor(id).lookup(id)
 	if gs == nil {
-		return nil, fmt.Errorf("service: graph %q: %w", id, ErrNoGraph)
+		return nil, fmt.Errorf("service: graph %q: %w", id, ErrUnknownGraph)
 	}
 	return gs.snap.Load(), nil
 }
@@ -287,7 +354,7 @@ func (s *Service) Query(id GraphID) (*QueryHandle, error) {
 	sh := s.shardFor(id)
 	gs := sh.lookup(id)
 	if gs == nil {
-		return nil, fmt.Errorf("service: graph %q: %w", id, ErrNoGraph)
+		return nil, fmt.Errorf("service: graph %q: %w", id, ErrUnknownGraph)
 	}
 	return sh.queryHandle(gs.snap.Load()), nil
 }
@@ -308,10 +375,60 @@ func (s *Service) Verify(id GraphID) error {
 	return snap.Verify()
 }
 
+// Verify checks id's latest snapshot; CheckSynced goes further and runs the
+// maintainer-side oracle on the shard loop itself: it validates that the
+// graph's query structure D is exactly the structure a fresh build over the
+// current graph and tree would produce (the recovery acceptance check —
+// replayed state must be indistinguishable from never having crashed). It
+// queues behind pending updates like any write.
+func (s *Service) CheckSynced(id GraphID) error {
+	fut := newFuture()
+	if err := s.shardFor(id).submit(task{kind: taskCheck, id: id, fut: fut}); err != nil {
+		return err
+	}
+	_, _, err := fut.Wait()
+	return err
+}
+
+// ShutdownShard describes one shard that failed to drain before a
+// CloseContext deadline.
+type ShutdownShard struct {
+	Shard      int
+	QueueDepth int // tasks still waiting in the mailbox
+}
+
+// ShutdownError reports a shutdown deadline expiring with shards still
+// running: which shards had not exited and how deep their queues were. The
+// shards keep draining in the background; their goroutines exit once the
+// backlog (and any wedged task) completes.
+type ShutdownError struct {
+	Undrained []ShutdownShard
+	Cause     error // the context's error
+}
+
+func (e *ShutdownError) Error() string {
+	depth := 0
+	for _, u := range e.Undrained {
+		depth += u.QueueDepth
+	}
+	return fmt.Sprintf("service: shutdown deadline: %d shards undrained (%d tasks queued): %v",
+		len(e.Undrained), depth, e.Cause)
+}
+
+// Unwrap exposes the context error for errors.Is(err, context.Deadline...).
+func (e *ShutdownError) Unwrap() error { return e.Cause }
+
 // Close drains and stops the service: new submissions fail with ErrClosed,
 // every already-enqueued task is processed and its Future resolved, and the
 // shard goroutines exit before Close returns. Reads remain available.
-func (s *Service) Close() error {
+func (s *Service) Close() error { return s.CloseContext(context.Background()) }
+
+// CloseContext is Close with a deadline: if ctx expires before every shard
+// drains, it returns a *ShutdownError naming the undrained shards and their
+// queue depths instead of hanging on a wedged update. Shutdown itself is
+// not cancelled — submissions already fail and the shards keep draining in
+// the background; enqueued Futures still resolve eventually.
+func (s *Service) CloseContext(ctx context.Context) error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return ErrClosed
 	}
@@ -321,6 +438,21 @@ func (s *Service) Close() error {
 		close(sh.mailbox)
 		sh.submitMu.Unlock()
 	}
-	s.wg.Wait()
-	return nil
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		e := &ShutdownError{Cause: ctx.Err()}
+		for _, sh := range s.shards {
+			if !sh.stopped.Load() {
+				e.Undrained = append(e.Undrained, ShutdownShard{Shard: sh.idx, QueueDepth: len(sh.mailbox)})
+			}
+		}
+		return e
+	}
 }

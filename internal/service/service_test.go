@@ -34,7 +34,7 @@ func TestServiceBasic(t *testing.T) {
 	if _, err := s.CreateGraph("g1", g); !errors.Is(err, ErrGraphExists) {
 		t.Fatalf("duplicate create: %v", err)
 	}
-	if _, err := s.Snapshot("nope"); !errors.Is(err, ErrNoGraph) {
+	if _, err := s.Snapshot("nope"); !errors.Is(err, ErrUnknownGraph) {
 		t.Fatalf("missing graph: %v", err)
 	}
 
@@ -107,7 +107,7 @@ func TestServiceBasic(t *testing.T) {
 	if err := s.DropGraph("g1"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Snapshot("g1"); !errors.Is(err, ErrNoGraph) {
+	if _, err := s.Snapshot("g1"); !errors.Is(err, ErrUnknownGraph) {
 		t.Fatalf("dropped graph still resolves: %v", err)
 	}
 }
@@ -488,7 +488,7 @@ func TestServiceApplyBatchCrossGraph(t *testing.T) {
 	for i, fut := range futs {
 		_, snap, err := fut.Wait()
 		if items[i].Graph == "missing" {
-			if !errors.Is(err, ErrNoGraph) {
+			if !errors.Is(err, ErrUnknownGraph) {
 				t.Fatalf("missing-graph item: %v", err)
 			}
 			continue

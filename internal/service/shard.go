@@ -12,6 +12,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pram"
 	"repro/internal/snapquery"
+	"repro/internal/wal"
 )
 
 type taskKind int
@@ -21,6 +22,8 @@ const (
 	taskDrop
 	taskApply
 	taskBatch
+	taskCheck // run the D/graph/tree sync oracle on the shard loop
+	taskFunc  // run an arbitrary closure on the shard loop (tests only)
 )
 
 // task is one mailbox message. Exactly one of the payload fields is set,
@@ -32,6 +35,7 @@ type task struct {
 	g        *graph.Graph // create: initial graph (cloned by the maintainer)
 	upd      core.Update  // apply
 	entries  []batchEntry // batch
+	fn       func()       // func (tests: wedge or probe the shard loop)
 	fut      *Future
 	enqueued time.Time // stamped by submit; mailbox wait = receive - enqueued
 }
@@ -140,6 +144,12 @@ type shard struct {
 	// update traces for inspection.
 	stageNanos [5]atomic.Int64
 	slow       *obs.SlowRing
+
+	// w is the shard's durability state; nil when the service runs without
+	// a write-ahead log. stopped flips when the goroutine exits, so a
+	// deadline-bounded shutdown can report which shards are still running.
+	w       *shardWAL
+	stopped atomic.Bool
 }
 
 // submit enqueues t unless the shard is closed. It blocks while the mailbox
@@ -166,11 +176,20 @@ func (sh *shard) submit(t task) error {
 }
 
 // run is the shard's update loop: it drains the mailbox until Close closes
-// it, applying every task in submission order.
+// it, applying every task in submission order. Under WAL the loop is
+// bracketed by the recovery prologue (replay the log tail while reads serve
+// the checkpoint snapshots) and a closing sync of the log.
 func (sh *shard) run(wg *sync.WaitGroup, headroom int) {
 	defer wg.Done()
+	defer sh.stopped.Store(true)
+	if sh.w != nil {
+		sh.recoverReplay()
+	}
 	for t := range sh.mailbox {
 		sh.handle(t, headroom)
+	}
+	if sh.w != nil {
+		sh.w.log.Close()
 	}
 }
 
@@ -188,6 +207,10 @@ func (sh *shard) handle(t task, headroom int) {
 			t.fut.resolve(-1, nil, fmt.Errorf("service: graph %q: %w", t.id, ErrGraphExists))
 			return
 		}
+		if err := sh.walGate(); err != nil {
+			t.fut.resolve(-1, nil, err)
+			return
+		}
 		// Keep the shared machine's model processor budget at the paper's
 		// per-instance maximum (m processors) across tenants.
 		if p := 2*t.g.NumEdges() + t.g.NumVertexSlots() + 1; p > sh.mach.Procs() {
@@ -198,6 +221,24 @@ func (sh *shard) handle(t task, headroom int) {
 			Headroom: headroom,
 			Machine:  sh.mach,
 		})}
+		if w := sh.w; w != nil {
+			// A graph exists durably iff its checkpoint does: write the v0
+			// checkpoint before acknowledging, so a crash can never have
+			// acknowledged a graph that recovery would not restore.
+			c := &wal.Checkpoint{
+				ID:     string(t.id),
+				Seq:    uint64(gs.dd.Updates()),
+				Pseudo: gs.dd.PseudoRoot(),
+				Graph:  gs.dd.Frozen(),
+				Tree:   gs.dd.Tree(),
+			}
+			if err := wal.WriteCheckpoint(w.cfg.Dir, c, w.cfg.Injector); err != nil {
+				w.fail(err)
+				t.fut.resolve(-1, nil, fmt.Errorf("service: graph %q: %w", t.id, err))
+				return
+			}
+			w.checkpoints.Add(1)
+		}
 		snap := sh.publish(t.id, gs)
 		sh.mu.Lock()
 		sh.graphs[t.id] = gs
@@ -207,7 +248,11 @@ func (sh *shard) handle(t task, headroom int) {
 	case taskDrop:
 		gs := sh.lookup(t.id)
 		if gs == nil {
-			t.fut.resolve(-1, nil, fmt.Errorf("service: graph %q: %w", t.id, ErrNoGraph))
+			t.fut.resolve(-1, nil, fmt.Errorf("service: graph %q: %w", t.id, ErrUnknownGraph))
+			return
+		}
+		if err := sh.walGate(); err != nil {
+			t.fut.resolve(-1, gs.snap.Load(), err)
 			return
 		}
 		sh.mu.Lock()
@@ -229,12 +274,29 @@ func (sh *shard) handle(t task, headroom int) {
 		}
 		sh.mu.RUnlock()
 		sh.mach.SetProcs(procs)
+		if w := sh.w; w != nil {
+			// Remove the graph durably: delete its checkpoints first, then
+			// rotate (re-checkpoint survivors + truncate the log) so its
+			// records vanish. A crash between the two steps leaves orphan
+			// records that recovery counts and skips; the reverse order
+			// could resurrect a dropped graph from checkpoint alone.
+			wal.DeleteCheckpoints(w.cfg.Dir, string(t.id))
+			if err := sh.checkpointShard(); err != nil {
+				w.fail(err)
+				t.fut.resolve(-1, gs.snap.Load(), fmt.Errorf("service: graph %q: %w", t.id, err))
+				return
+			}
+		}
 		t.fut.resolve(-1, gs.snap.Load(), nil)
 
 	case taskApply:
 		gs := sh.lookup(t.id)
 		if gs == nil {
-			t.fut.resolve(-1, nil, fmt.Errorf("service: graph %q: %w", t.id, ErrNoGraph))
+			t.fut.resolve(-1, nil, fmt.Errorf("service: graph %q: %w", t.id, ErrUnknownGraph))
+			return
+		}
+		if err := sh.walGate(); err != nil {
+			t.fut.resolve(-1, gs.snap.Load(), err)
 			return
 		}
 		var tr obs.Trace
@@ -248,12 +310,32 @@ func (sh *shard) handle(t task, headroom int) {
 		}
 		tr.Seq = sh.updates.Add(1)
 		gs.absorb(gs.dd.LastDelta())
+		if sh.w != nil {
+			// Append + commit before publishing: readers must never see an
+			// update the log has not made durable. On failure the shard
+			// fail-stops without publishing — the in-memory maintainer has
+			// advanced, but no acknowledgment or snapshot exposes it.
+			werr := sh.walAppend(t.id, gs, t.upd)
+			if werr == nil {
+				if werr = sh.w.log.Commit(); werr != nil {
+					sh.w.fail(werr)
+				}
+			}
+			if werr != nil {
+				sh.sealTrace(&tr, 0, 0)
+				t.fut.resolve(-1, gs.snap.Load(), fmt.Errorf("service: graph %q: %w", t.id, werr))
+				return
+			}
+		}
 		p0 := time.Now()
 		snap := sh.publish(t.id, gs)
 		pd := time.Since(p0)
 		sh.publishHist.Record(pd)
 		sh.sealTrace(&tr, pd, snap.Version)
 		t.fut.resolve(v, snap, nil)
+		if sh.w != nil {
+			sh.walRoundEnd(1)
+		}
 
 	case taskBatch:
 		// One coalesced round: apply every entry in order, but publish each
@@ -270,10 +352,17 @@ func (sh *shard) handle(t task, headroom int) {
 		sh.batchHist.RecordValue(int64(len(t.entries)))
 		resolutions := make([]resolution, 0, len(t.entries))
 		touched := make(map[GraphID]*graphState)
+		applied := 0
 		for _, en := range t.entries {
+			// Re-check the gate per entry: a WAL failure mid-round must stop
+			// applying before the maintainer diverges further from the log.
+			if err := sh.walGate(); err != nil {
+				en.fut.resolve(-1, nil, err)
+				continue
+			}
 			gs := sh.lookup(en.id)
 			if gs == nil {
-				en.fut.resolve(-1, nil, fmt.Errorf("service: graph %q: %w", en.id, ErrNoGraph))
+				en.fut.resolve(-1, nil, fmt.Errorf("service: graph %q: %w", en.id, ErrUnknownGraph))
 				continue
 			}
 			r := resolution{fut: en.fut, gs: gs}
@@ -284,9 +373,34 @@ func (sh *shard) handle(t task, headroom int) {
 			} else {
 				r.tr.Seq = sh.updates.Add(1)
 				gs.absorb(gs.dd.LastDelta())
-				touched[en.id] = gs
+				if sh.w != nil {
+					if werr := sh.walAppend(en.id, gs, en.upd); werr != nil {
+						r.err = fmt.Errorf("service: graph %q: %w", en.id, werr)
+					}
+				}
+				if r.err == nil {
+					touched[en.id] = gs
+					applied++
+				}
 			}
 			resolutions = append(resolutions, r)
+		}
+		if sh.w != nil && applied > 0 {
+			// Group commit: one round barrier covers every appended record
+			// before any future resolves. On failure nothing publishes —
+			// acknowledged-but-unlogged updates must never become visible —
+			// and every otherwise-successful entry resolves with the error.
+			if werr := sh.w.log.Commit(); werr != nil {
+				sh.w.fail(werr)
+				werr = fmt.Errorf("service: batch round: %w", werr)
+				for i := range resolutions {
+					if resolutions[i].err == nil {
+						resolutions[i].err = werr
+					}
+				}
+				touched = nil
+				applied = 0
+			}
 		}
 		for id, gs := range touched {
 			p0 := time.Now()
@@ -306,6 +420,22 @@ func (sh *shard) handle(t task, headroom int) {
 			sh.sealTrace(&r.tr, 0, version)
 			r.fut.resolve(r.vertex, snap, r.err)
 		}
+		if sh.w != nil {
+			sh.walRoundEnd(applied)
+		}
+
+	case taskCheck:
+		gs := sh.lookup(t.id)
+		if gs == nil {
+			t.fut.resolve(-1, nil, fmt.Errorf("service: graph %q: %w", t.id, ErrUnknownGraph))
+			return
+		}
+		err := gs.dd.D().CheckSynced(gs.dd.Frozen(), gs.dd.Tree())
+		t.fut.resolve(-1, gs.snap.Load(), err)
+
+	case taskFunc:
+		t.fn()
+		t.fut.resolve(-1, nil, nil)
 	}
 }
 

@@ -1,0 +1,145 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestSentinelErrors(t *testing.T) {
+	s := New(Config{Shards: 2})
+	g := graph.GnpConnected(10, 0.3, rand.New(rand.NewSource(1)))
+	mustCreate(t, s, "g", g)
+
+	if _, err := s.CreateGraph("g", g); !errors.Is(err, ErrGraphExists) {
+		t.Fatalf("duplicate create = %v, want ErrGraphExists", err)
+	}
+	if _, err := s.Snapshot("missing"); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("Snapshot(missing) = %v, want ErrUnknownGraph", err)
+	}
+	if err := s.DropGraph("missing"); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("DropGraph(missing) = %v, want ErrUnknownGraph", err)
+	}
+	if _, err := s.Query("missing"); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("Query(missing) = %v, want ErrUnknownGraph", err)
+	}
+	if err := s.CheckSynced("missing"); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("CheckSynced(missing) = %v, want ErrUnknownGraph", err)
+	}
+	if fut, err := s.Apply("missing", core.Update{Kind: core.InsertEdge, U: 0, V: 1}); err == nil {
+		if _, _, err := fut.Wait(); !errors.Is(err, ErrUnknownGraph) {
+			t.Fatalf("Apply(missing) resolved %v, want ErrUnknownGraph", err)
+		}
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("second Close = %v, want ErrClosed", err)
+	}
+	if _, err := s.Apply("g", core.Update{Kind: core.InsertEdge, U: 0, V: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Apply after Close = %v, want ErrClosed", err)
+	}
+	if _, err := s.CreateGraph("g2", g); !errors.Is(err, ErrClosed) {
+		t.Fatalf("CreateGraph after Close = %v, want ErrClosed", err)
+	}
+	futs, err := s.ApplyBatch([]BatchItem{{Graph: "g", Update: core.Update{Kind: core.InsertEdge, U: 0, V: 1}}})
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("ApplyBatch after Close = %v, want ErrClosed", err)
+	}
+	for _, f := range futs {
+		if _, _, err := f.Wait(); !errors.Is(err, ErrClosed) {
+			t.Fatalf("post-close batch future = %v, want ErrClosed", err)
+		}
+	}
+	// Reads survive shutdown.
+	if _, err := s.Snapshot("g"); err != nil {
+		t.Fatalf("read after Close failed: %v", err)
+	}
+}
+
+// TestCloseContextDeadline wedges a shard loop behind a stuck update and
+// checks that a deadline-bounded shutdown reports the undrained shard with
+// its queue depth instead of hanging.
+func TestCloseContextDeadline(t *testing.T) {
+	s := New(Config{Shards: 2, MailboxDepth: 16})
+	g := graph.GnpConnected(10, 0.3, rand.New(rand.NewSource(2)))
+	mustCreate(t, s, "g", g)
+	sh := s.shardFor("g")
+
+	// Wedge the shard: a task that blocks until released, then queue real
+	// updates behind it.
+	release := make(chan struct{})
+	wedged := newFuture()
+	if err := sh.submit(task{kind: taskFunc, fn: func() { <-release }, fut: wedged}); err != nil {
+		t.Fatal(err)
+	}
+	var queued []*Future
+	for i := 0; i < 3; i++ {
+		fut, err := s.Apply("g", core.Update{Kind: core.InsertVertex, Neighbors: []int{0}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, fut)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := s.CloseContext(ctx)
+	var se *ShutdownError
+	if !errors.As(err, &se) {
+		t.Fatalf("CloseContext = %v, want *ShutdownError", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ShutdownError does not unwrap the deadline: %v", err)
+	}
+	found := false
+	for _, u := range se.Undrained {
+		if u.Shard == sh.idx {
+			found = true
+			if u.QueueDepth < 3 {
+				t.Fatalf("wedged shard reports depth %d, want >= 3", u.QueueDepth)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("wedged shard %d missing from %+v", sh.idx, se.Undrained)
+	}
+
+	// Shutdown kept its promise: the backlog still drains once unwedged,
+	// and every queued future resolves.
+	close(release)
+	if _, _, err := wedged.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range queued {
+		if _, _, err := f.Wait(); err != nil {
+			t.Fatalf("queued update lost by bounded shutdown: %v", err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !sh.stopped.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("shard goroutine never exited after unwedging")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCloseContextClean(t *testing.T) {
+	s := New(Config{Shards: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.CloseContext(ctx); err != nil {
+		t.Fatalf("clean CloseContext = %v", err)
+	}
+	if err := s.CloseContext(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("second CloseContext = %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,98 @@
+package wal
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func benchRecord(i int) Record {
+	return Record{
+		Graph: "tenant-0007",
+		Seq:   uint64(i + 1),
+		Update: core.Update{
+			Kind: core.InsertEdge,
+			U:    i % 512,
+			V:    (i*7 + 1) % 512,
+		},
+	}
+}
+
+// BenchmarkWALAppend measures the durable append path per fsync policy:
+// SyncBatch amortizes one fsync over the whole round (the serving layer's
+// group commit), SyncAlways pays one per record.
+func BenchmarkWALAppend(b *testing.B) {
+	for _, pol := range []SyncPolicy{SyncBatch, SyncAlways} {
+		for _, round := range []int{1, 16} {
+			if pol == SyncAlways && round != 1 {
+				continue
+			}
+			b.Run(fmt.Sprintf("policy=%v/round=%d", pol, round), func(b *testing.B) {
+				l, err := OpenLog(filepath.Join(b.TempDir(), "bench.wal"), Options{Policy: pol})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer l.Close()
+				b.ReportAllocs()
+				for i := 0; i < b.N; i += round {
+					for j := 0; j < round && i+j < b.N; j++ {
+						r := benchRecord(i + j)
+						if err := l.Append(&r); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if err := l.Commit(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				st := l.Stats()
+				b.ReportMetric(float64(st.AppendBytes)/float64(st.Appends), "bytes/record")
+			})
+		}
+	}
+}
+
+// BenchmarkWALReplay measures the recovery-time scan: decode a full log
+// into records (CRC check included).
+func BenchmarkWALReplay(b *testing.B) {
+	var buf []byte
+	const records = 4096
+	for i := 0; i < records; i++ {
+		r := benchRecord(i)
+		buf = AppendEncode(buf, &r)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := DecodeAll(buf)
+		if !res.Clean || len(res.Records) != records {
+			b.Fatalf("scan: clean=%v n=%d", res.Clean, len(res.Records))
+		}
+	}
+}
+
+// BenchmarkCheckpointEncode / Decode measure snapshot serialization, the
+// cost paid every WALConfig.CheckpointEvery updates per shard.
+func BenchmarkCheckpointEncode(b *testing.B) {
+	c := buildCheckpoint(b)
+	b.ReportAllocs()
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		buf = c.Encode()
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkCheckpointDecode(b *testing.B) {
+	c := buildCheckpoint(b)
+	buf := c.Encode()
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeCheckpoint(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,342 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/tree"
+)
+
+// ckptMagic opens every checkpoint file (format version 1).
+var ckptMagic = [8]byte{'D', 'F', 'S', 'W', 'C', 'K', 'P', '1'}
+
+// Checkpoint is one graph's full serializable state at an update boundary.
+// Capturing one from a published snapshot is a pointer grab — the graph
+// version and tree are immutable — so only Encode pays O(n+m).
+type Checkpoint struct {
+	ID     string
+	Seq    uint64 // update count at capture; log records with Seq <= this are covered
+	Pseudo int    // pseudo-root vertex ID (tree root)
+	Graph  *graph.Persistent
+	Tree   *tree.Tree
+}
+
+// Encode serializes c into a single CRC-framed blob.
+func (c *Checkpoint) Encode() []byte {
+	csr := c.Graph.Snapshot()
+	slots := c.Graph.NumVertexSlots()
+	out := make([]byte, 0, 64+len(c.ID)+slots/4+len(csr.Dst)*2+(c.Pseudo+1)*2)
+	out = append(out, ckptMagic[:]...)
+	out = append(out, 0, 0, 0, 0, 0, 0, 0, 0) // len+crc placeholder
+	out = binary.AppendUvarint(out, uint64(len(c.ID)))
+	out = append(out, c.ID...)
+	out = binary.AppendUvarint(out, c.Seq)
+	out = binary.AppendUvarint(out, uint64(slots))
+	out = binary.AppendUvarint(out, uint64(c.Pseudo))
+	// Liveness bitmap over the vertex slots.
+	bitmap := make([]byte, (slots+7)/8)
+	for v := 0; v < slots; v++ {
+		if c.Graph.IsVertex(v) {
+			bitmap[v>>3] |= 1 << uint(v&7)
+		}
+	}
+	out = append(out, bitmap...)
+	// Adjacency: per-slot degree, then the concatenated sorted rows.
+	out = binary.AppendUvarint(out, uint64(csr.M))
+	for v := 0; v < slots; v++ {
+		out = binary.AppendUvarint(out, uint64(csr.Off[v+1]-csr.Off[v]))
+	}
+	for _, w := range csr.Dst {
+		out = binary.AppendUvarint(out, uint64(w))
+	}
+	// DFS tree: parent per slot 0..Pseudo (zigzag; tree.None encodes -1).
+	for v := 0; v <= c.Pseudo; v++ {
+		out = binary.AppendVarint(out, int64(c.Tree.Parent[v]))
+	}
+	payload := out[16:]
+	binary.LittleEndian.PutUint32(out[8:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[12:], crc32.Checksum(payload, castagnoli))
+	return out
+}
+
+// DecodeCheckpoint parses and validates a checkpoint blob, reconstructing
+// the persistent graph and DFS tree. Any structural problem — bad magic,
+// CRC mismatch, inconsistent adjacency, an invalid tree — fails loudly
+// with an error wrapping ErrCorrupt.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	if len(data) < 16 || [8]byte(data[:8]) != ckptMagic {
+		return nil, fmt.Errorf("%w: bad checkpoint magic", ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint32(data[8:])
+	if n == 0 || int(n) != len(data)-16 {
+		return nil, fmt.Errorf("%w: checkpoint length %d does not match file", ErrCorrupt, n)
+	}
+	payload := data[16:]
+	if crc := crc32.Checksum(payload, castagnoli); crc != binary.LittleEndian.Uint32(data[12:]) {
+		return nil, fmt.Errorf("%w: checkpoint CRC mismatch", ErrCorrupt)
+	}
+	p := payload
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(p)
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: truncated checkpoint varint", ErrCorrupt)
+		}
+		p = p[n:]
+		return v, nil
+	}
+	idLen, err := next()
+	if err != nil || idLen > uint64(len(p)) {
+		return nil, fmt.Errorf("%w: bad checkpoint ID", ErrCorrupt)
+	}
+	c := &Checkpoint{ID: string(p[:idLen])}
+	p = p[idLen:]
+	if c.Seq, err = next(); err != nil {
+		return nil, err
+	}
+	slots64, err := next()
+	if err != nil || slots64 > 1<<30 {
+		return nil, fmt.Errorf("%w: bad slot count", ErrCorrupt)
+	}
+	slots := int(slots64)
+	pseudo64, err := next()
+	if err != nil || pseudo64 < slots64 || pseudo64 > 1<<31 {
+		return nil, fmt.Errorf("%w: bad pseudo root", ErrCorrupt)
+	}
+	c.Pseudo = int(pseudo64)
+	if len(p) < (slots+7)/8 {
+		return nil, fmt.Errorf("%w: truncated liveness bitmap", ErrCorrupt)
+	}
+	bitmap := p[:(slots+7)/8]
+	p = p[(slots+7)/8:]
+	alive := func(v int) bool { return bitmap[v>>3]&(1<<uint(v&7)) != 0 }
+
+	m64, err := next()
+	if err != nil || m64 > 1<<40 {
+		return nil, fmt.Errorf("%w: bad edge count", ErrCorrupt)
+	}
+	deg := make([]int, slots)
+	total := 0
+	for v := range deg {
+		d, err := next()
+		if err != nil {
+			return nil, err
+		}
+		deg[v] = int(d)
+		total += int(d)
+	}
+	if total != 2*int(m64) {
+		return nil, fmt.Errorf("%w: degree sum %d != 2m=%d", ErrCorrupt, total, 2*m64)
+	}
+	// Rebuild a mutable graph, then freeze it persistent.
+	g := graph.New(slots)
+	for v := 0; v < slots; v++ {
+		if !alive(v) {
+			if deg[v] != 0 {
+				return nil, fmt.Errorf("%w: hole %d has degree %d", ErrCorrupt, v, deg[v])
+			}
+			if err := g.DeleteVertex(v); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+		}
+	}
+	for v := 0; v < slots; v++ {
+		for i := 0; i < deg[v]; i++ {
+			w64, err := next()
+			if err != nil {
+				return nil, err
+			}
+			w := int(w64)
+			if w >= slots || !alive(w) {
+				return nil, fmt.Errorf("%w: edge (%d,%d) leaves the vertex set", ErrCorrupt, v, w)
+			}
+			if v < w { // each edge appears in both rows; insert once
+				if err := g.InsertEdge(v, w); err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+				}
+			} else if !g.HasEdge(w, v) {
+				return nil, fmt.Errorf("%w: asymmetric row entry (%d,%d)", ErrCorrupt, v, w)
+			}
+		}
+	}
+	if g.NumEdges() != int(m64) {
+		return nil, fmt.Errorf("%w: reconstructed %d edges, header says %d", ErrCorrupt, g.NumEdges(), m64)
+	}
+	// DFS tree parents (slots..Pseudo-1 are headroom holes; Pseudo roots).
+	parent := make([]int, c.Pseudo+1)
+	present := make([]bool, c.Pseudo+1)
+	for v := 0; v <= c.Pseudo; v++ {
+		pv, n := binary.Varint(p)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: truncated parent array", ErrCorrupt)
+		}
+		p = p[n:]
+		if pv < tree.None || pv > int64(c.Pseudo) {
+			return nil, fmt.Errorf("%w: parent %d out of range", ErrCorrupt, pv)
+		}
+		parent[v] = int(pv)
+		present[v] = (v < slots && alive(v)) || v == c.Pseudo
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing checkpoint bytes", ErrCorrupt, len(p))
+	}
+	t, err := tree.Build(c.Pseudo, parent, present)
+	if err != nil {
+		return nil, fmt.Errorf("%w: checkpoint tree: %v", ErrCorrupt, err)
+	}
+	c.Graph = graph.PersistentOf(g)
+	c.Tree = t
+	return c, nil
+}
+
+// ckptName returns the filename for id's checkpoint at seq. The ID is
+// hex-encoded so arbitrary GraphIDs stay filename-safe and unambiguous.
+func ckptName(id string, seq uint64) string {
+	return fmt.Sprintf("ck-%s-%016x.ckpt", hex.EncodeToString([]byte(id)), seq)
+}
+
+// parseCkptName inverts ckptName.
+func parseCkptName(name string) (id string, seq uint64, ok bool) {
+	if !strings.HasPrefix(name, "ck-") || !strings.HasSuffix(name, ".ckpt") {
+		return "", 0, false
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(name, "ck-"), ".ckpt")
+	i := strings.LastIndexByte(body, '-')
+	if i < 0 {
+		return "", 0, false
+	}
+	raw, err := hex.DecodeString(body[:i])
+	if err != nil {
+		return "", 0, false
+	}
+	seq, err = strconv.ParseUint(body[i+1:], 16, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return string(raw), seq, true
+}
+
+// WriteCheckpoint durably writes c into dir (temp file, fsync, rename,
+// directory fsync) and then removes any older checkpoint files for the
+// same graph. Write I/O routes through inj.
+func WriteCheckpoint(dir string, c *Checkpoint, inj *Injector) error {
+	data := c.Encode()
+	name := ckptName(c.ID, c.Seq)
+	tmp := filepath.Join(dir, "."+name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint %q: %w", c.ID, err)
+	}
+	allow, injected := inj.beforeWrite(len(data))
+	var n int
+	if allow > 0 {
+		n, err = f.Write(data[:allow])
+	}
+	if injected != nil && err == nil {
+		err = injected
+	}
+	if err == nil && n < len(data) {
+		err = fmt.Errorf("short checkpoint write (%d of %d bytes)", n, len(data))
+	}
+	if err == nil {
+		if err = inj.beforeSync(); err == nil {
+			err = f.Sync()
+		}
+	}
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint %q: %w", c.ID, err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint %q: %w", c.ID, err)
+	}
+	syncDir(dir)
+	// The new checkpoint supersedes every older one for this graph.
+	for _, e := range readDirNames(dir) {
+		if eid, seq, ok := parseCkptName(e); ok && eid == c.ID && seq != c.Seq {
+			os.Remove(filepath.Join(dir, e))
+		}
+	}
+	return nil
+}
+
+// DeleteCheckpoints removes every checkpoint file for id.
+func DeleteCheckpoints(dir, id string) {
+	for _, e := range readDirNames(dir) {
+		if eid, _, ok := parseCkptName(e); ok && eid == id {
+			os.Remove(filepath.Join(dir, e))
+		}
+	}
+	syncDir(dir)
+}
+
+// LoadCheckpoints reads the newest valid checkpoint of every graph in dir.
+// A graph whose newest checkpoint is corrupt falls back to the next newest
+// (possible only if the newer write was torn before cleanup); a graph with
+// checkpoint files but no valid one fails loudly.
+func LoadCheckpoints(dir string) (map[string]*Checkpoint, error) {
+	bySeq := map[string][]uint64{}
+	for _, e := range readDirNames(dir) {
+		if id, seq, ok := parseCkptName(e); ok {
+			bySeq[id] = append(bySeq[id], seq)
+		}
+	}
+	out := make(map[string]*Checkpoint, len(bySeq))
+	for id, seqs := range bySeq {
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+		var lastErr error
+		for _, seq := range seqs {
+			data, err := os.ReadFile(filepath.Join(dir, ckptName(id, seq)))
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			c, err := DecodeCheckpoint(data)
+			if err != nil || c.ID != id {
+				if err == nil {
+					err = fmt.Errorf("%w: checkpoint file/ID mismatch", ErrCorrupt)
+				}
+				lastErr = err
+				continue
+			}
+			out[id] = c
+			break
+		}
+		if out[id] == nil {
+			return nil, fmt.Errorf("wal: graph %q: no valid checkpoint: %w", id, lastErr)
+		}
+	}
+	return out, nil
+}
+
+func readDirNames(dir string) []string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names
+}
+
+// syncDir best-effort fsyncs a directory (rename/unlink durability).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
