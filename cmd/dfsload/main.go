@@ -140,7 +140,11 @@ func main() {
 			// file reaches the page cache before the service sees the update,
 			// so after kill -9 the recovered per-graph state must be a prefix
 			// of the intent sequence at least as long as the acked prefix —
-			// exactly what -recoververify checks.
+			// exactly what -recoververify checks. Each run also records a
+			// baseline marker per owned graph (the version its mirror started
+			// from), so the verifier can splice epochs: intents left in flight
+			// by an earlier kill are excluded instead of being replayed into
+			// the middle of the next epoch's sequence.
 			var ack *os.File
 			if *ackDir != "" {
 				f, err := os.OpenFile(
@@ -164,6 +168,9 @@ func main() {
 				}
 				mine = append(mine, ids[i])
 				mirrors[ids[i]] = snap.Graph.Mutable()
+				if ack != nil {
+					fmt.Fprintf(ack, "R %s %d\n", ids[i], snap.Version)
+				}
 			}
 			if len(mine) == 0 {
 				return
@@ -384,20 +391,39 @@ type intent struct {
 	kind, u, v int
 }
 
+// segment is one crash epoch's worth of a graph's intent log: the version
+// the epoch's writer mirror started from (0 for a fresh graph, the
+// recovered version after a restart) plus the intents and acks recorded
+// until the next kill. Updates a kill left in flight live at the end of a
+// segment and are excluded once the next segment's baseline shows they
+// were never applied.
+type segment struct {
+	base    int
+	intents []intent
+	acked   int
+}
+
 // recoverVerify is the crash-harness verifier. After a kill -9 of a
 // `dfsload -wal -acklog` run, main reopens the durable service and calls
-// this with the same workload flags. It replays each graph's recorded
-// intent prefix against a regenerated initial graph and requires the
-// recovered state to match exactly:
+// this with the same workload flags. It splits each graph's recorded
+// intents into crash epochs at the R baseline markers, replays each
+// epoch's applied prefix against a regenerated initial graph, and requires
+// the recovered state to match exactly:
 //
-//   - per graph, acked <= recovered version <= intents (no durably
-//     acknowledged update may be lost; nothing beyond what was submitted
-//     may appear);
-//   - the recovered edge set equals the intent-prefix replay of the same
-//     length (writers own disjoint graphs and shards apply in submission
-//     order, so the prefix is deterministic);
+//   - per epoch, acked <= applied <= intents (no durably acknowledged
+//     update may be lost; nothing beyond what was submitted may appear);
+//     an epoch's applied count is pinned by the next epoch's baseline —
+//     or by the recovered version for the final epoch — so intents a kill
+//     left in flight are excluded rather than replayed;
+//   - the recovered edge set equals the spliced epoch-prefix replay
+//     (writers own disjoint graphs and shards apply in submission order,
+//     so each prefix is deterministic);
 //   - the recovered tree passes full DFS verification and the maintainer's
 //     internal structure passes CheckSynced.
+//
+// Because every run records baselines, the same -wal/-acklog pair verifies
+// across arbitrarily many load/kill/recover cycles, including shard-count
+// changes between them.
 func recoverVerify(svc *dfs.Service, ackDir string, graphs, n int, deg float64, seed int64) int {
 	defer svc.Close()
 	svc.WaitRecovered()
@@ -411,19 +437,42 @@ func recoverVerify(svc *dfs.Service, ackDir string, graphs, n int, deg float64, 
 		return 2
 	}
 	sort.Strings(files)
-	intents := map[dfs.GraphID][]intent{}
-	acked := map[dfs.GraphID]int{}
+	segs := map[dfs.GraphID][]*segment{}
 	torn := 0
+	// cur tracks each graph's open segment while scanning one file; lines in
+	// a file are chronological, so an R baseline closes the previous epoch's
+	// segment and opens the next. Logs from before baselines existed (or a
+	// torn R line) fall into an implicit base-0 segment.
 	for _, path := range files {
 		f, err := os.Open(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "open %s: %v\n", path, err)
 			return 2
 		}
+		cur := map[dfs.GraphID]*segment{}
+		open := func(id dfs.GraphID, base int) *segment {
+			s := &segment{base: base}
+			segs[id] = append(segs[id], s)
+			cur[id] = s
+			return s
+		}
+		at := func(id dfs.GraphID) *segment {
+			if s := cur[id]; s != nil {
+				return s
+			}
+			return open(id, 0)
+		}
 		sc := bufio.NewScanner(f)
 		for sc.Scan() {
 			fields := strings.Fields(sc.Text())
 			switch {
+			case len(fields) == 3 && fields[0] == "R":
+				var base int
+				if _, err := fmt.Sscanf(fields[2], "%d", &base); err != nil {
+					torn++
+					continue
+				}
+				open(dfs.GraphID(fields[1]), base)
 			case len(fields) == 5 && fields[0] == "I":
 				var in intent
 				if _, err := fmt.Sscanf(sc.Text(), "I %s %d %d %d",
@@ -432,9 +481,10 @@ func recoverVerify(svc *dfs.Service, ackDir string, graphs, n int, deg float64, 
 					continue
 				}
 				id := dfs.GraphID(fields[1])
-				intents[id] = append(intents[id], in)
+				s := at(id)
+				s.intents = append(s.intents, in)
 			case len(fields) == 2 && fields[0] == "A":
-				acked[dfs.GraphID(fields[1])]++
+				at(dfs.GraphID(fields[1])).acked++
 			default:
 				torn++
 			}
@@ -451,10 +501,19 @@ func recoverVerify(svc *dfs.Service, ackDir string, graphs, n int, deg float64, 
 		id := dfs.GraphID(fmt.Sprintf("tenant-%04d", i))
 		rng := rand.New(rand.NewSource(seed + int64(i)))
 		mirror := dfs.GnpConnected(n, deg/float64(n), rng)
+		gsegs := segs[id]
+		// Baselines only grow (a graph's version never goes backward across
+		// restarts), so sorting by base puts the epochs in order; the stable
+		// sort keeps file order for the one tie that can happen — a creation
+		// killed before its ack, re-created from scratch at base 0, where the
+		// dead incarnation's segment correctly contributes zero applied.
+		sort.SliceStable(gsegs, func(a, b int) bool { return gsegs[a].base < gsegs[b].base })
 		snap, err := svc.Snapshot(id)
 		if errors.Is(err, dfs.ErrUnknownGraph) {
-			if acked[id] > 0 {
-				return fail("%s: %d acked updates but the graph did not survive", id, acked[id])
+			for _, s := range gsegs {
+				if s.acked > 0 {
+					return fail("%s: %d acked updates but the graph did not survive", id, s.acked)
+				}
 			}
 			continue // killed before the graph's creation was acknowledged
 		}
@@ -462,25 +521,51 @@ func recoverVerify(svc *dfs.Service, ackDir string, graphs, n int, deg float64, 
 			return fail("%s: snapshot: %v", id, err)
 		}
 		v := int(snap.Version)
-		if v < acked[id] {
-			return fail("%s: recovered at version %d but %d updates were durably acked", id, v, acked[id])
+		if len(gsegs) == 0 {
+			gsegs = []*segment{{}} // created but no writer traffic recorded
 		}
-		if v > len(intents[id]) {
-			return fail("%s: recovered at version %d beyond the %d recorded intents", id, v, len(intents[id]))
+		if gsegs[0].base != 0 {
+			return fail("%s: first recorded epoch starts at version %d, not 0 (acklog dir does not cover the graph's history)",
+				id, gsegs[0].base)
 		}
-		for j, in := range intents[id][:v] {
-			var aerr error
-			switch {
-			case in.kind == int(dfs.InsertEdge):
-				aerr = mirror.InsertEdge(in.u, in.v)
-			case in.kind == int(dfs.DeleteEdge):
-				aerr = mirror.DeleteEdge(in.u, in.v)
-			default:
-				aerr = fmt.Errorf("unexpected update kind %d", in.kind)
+		totalAcked := 0
+		for k, s := range gsegs {
+			// The epoch's applied count is pinned by the next epoch's
+			// baseline — its writer mirror began at exactly the version the
+			// restart recovered — or, for the live epoch, by the version
+			// recovered now. Intents past it were in flight at the kill and
+			// never applied; replaying them would corrupt the mirror.
+			applied := v - s.base
+			if k+1 < len(gsegs) {
+				applied = gsegs[k+1].base - s.base
 			}
-			if aerr != nil {
-				return fail("%s: intent %d/%d does not replay: %v", id, j+1, v, aerr)
+			if applied < s.acked {
+				return fail("%s: epoch from version %d applied %d updates but %d were durably acked",
+					id, s.base, applied, s.acked)
 			}
+			if applied < 0 {
+				return fail("%s: recovered at version %d behind a later epoch's baseline %d", id, v, s.base)
+			}
+			if applied > len(s.intents) {
+				return fail("%s: epoch from version %d applied %d updates beyond its %d recorded intents",
+					id, s.base, applied, len(s.intents))
+			}
+			for j, in := range s.intents[:applied] {
+				var aerr error
+				switch {
+				case in.kind == int(dfs.InsertEdge):
+					aerr = mirror.InsertEdge(in.u, in.v)
+				case in.kind == int(dfs.DeleteEdge):
+					aerr = mirror.DeleteEdge(in.u, in.v)
+				default:
+					aerr = fmt.Errorf("unexpected update kind %d", in.kind)
+				}
+				if aerr != nil {
+					return fail("%s: epoch from version %d: intent %d/%d does not replay: %v",
+						id, s.base, j+1, applied, aerr)
+				}
+			}
+			totalAcked += s.acked
 		}
 		if mirror.NumEdges() != snap.Graph.NumEdges() || mirror.NumVertices() != snap.Graph.NumVertices() {
 			return fail("%s: recovered graph has %d edges / %d vertices, intent replay has %d / %d",
@@ -499,7 +584,7 @@ func recoverVerify(svc *dfs.Service, ackDir string, graphs, n int, deg float64, 
 		}
 		verified++
 		replayed += v
-		beyondAck += v - acked[id]
+		beyondAck += v - totalAcked
 	}
 	m := svc.Metrics()
 	fmt.Printf("RECOVERY OK: %d/%d graphs verified, %d updates live (%d beyond last ack), "+

@@ -154,7 +154,13 @@
 // is on disk, and a reader can never observe state that a crash could roll
 // back. Records are length-prefixed, CRC32C-framed (internal/wal), so a
 // torn tail — the expected shape of a kill -9 or power cut mid-append — is
-// detected by framing alone and recovery keeps the clean prefix.
+// detected by framing alone and recovery keeps the clean prefix; a record
+// too large for the frame bound is rejected before any byte is written
+// (wal.ErrTooLarge), so an un-replayable record can never be acknowledged.
+// Open also takes an exclusive lock on the directory (flock on wal.lock,
+// wal.ErrLocked when held), so two services can never interleave appends
+// into the same shard logs; the kernel drops the lock with the process, so
+// a kill -9 never wedges the successor's recovery.
 //
 // Fsync cost is a policy, not a constant. SyncAlways pays one fsync per
 // record (strongest, slowest); SyncBatch — the default — group-commits one
@@ -192,7 +198,13 @@
 // degraded to live is one atomic snapshot publication per graph
 // (Recovering / WaitRecovered expose the transition; a post-recovery
 // checkpoint then re-truncates the logs so restart cost does not
-// accumulate). Crash-injection hooks (wal.Injector: fail or shorten the
+// accumulate). When the shard count changed, an inherited log file can
+// hold the only durable copy of tails for graphs rerouted to other shards:
+// its truncation is deferred until every shard has recovered and
+// re-checkpointed (the recovery barrier), so no crash window can roll a
+// rerouted graph back behind its acknowledged tail — until then replay
+// simply skips the checkpoint-covered prefix. Crash-injection hooks
+// (wal.Injector: fail or shorten the
 // Nth write, fail the Nth fsync) drive the fault-path tests, and the
 // process-level harness (cmd/dfsload -wal -acklog, TestCrashRecoveryKill9
 // and the CI crash-recovery job) kills a loaded service with SIGKILL and

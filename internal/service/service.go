@@ -16,6 +16,7 @@ import (
 	"repro/internal/pram"
 	"repro/internal/snapquery"
 	"repro/internal/tree"
+	"repro/internal/wal"
 )
 
 // GraphID names one tenant graph. IDs hash to shards with FNV-1a.
@@ -94,11 +95,14 @@ type Service struct {
 
 	// Durability state (see wal.go; only meaningful when cfg.WAL is set).
 	// recovered closes once every shard has left degraded-reads mode;
-	// walStale are old-epoch log files removed after a clean recovery;
-	// walTorn/walOrphans describe what the recovery scan found.
+	// walLock is the directory's exclusive single-owner lock, held from
+	// Open until every shard goroutine has exited; walStale are old-epoch
+	// log files removed after a clean recovery; walTorn/walOrphans describe
+	// what the recovery scan found.
 	recovered  chan struct{}
 	walPending atomic.Int32
 	walOK      atomic.Bool
+	walLock    *wal.DirLock
 	walStale   []string
 	walTorn    int
 	walOrphans int
@@ -149,6 +153,7 @@ func Open(cfg Config) (*Service, error) {
 					sh.w.log.Close()
 				}
 			}
+			s.walLock.Release()
 			return nil, err
 		}
 	} else {
@@ -441,6 +446,10 @@ func (s *Service) CloseContext(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		// Every shard goroutine has exited (logs closed), so the directory
+		// can change owners — also on the deadline path, where this runs
+		// once the background drain completes.
+		s.walLock.Release()
 		close(done)
 	}()
 	select {

@@ -64,6 +64,14 @@ type shardWAL struct {
 	since    int  // updates logged since the last checkpoint rotation
 	hadInput bool // the directory held state for this shard at Open
 
+	// holdReset defers log truncation: the inherited log file holds records
+	// for graphs rerouted to other shards (the shard count changed), whose
+	// checkpoints this shard does not write. Truncating before every shard
+	// has re-checkpointed would lose those tails in a crash, so Reset waits
+	// for the recovery barrier; barrier reports it passed cleanly.
+	holdReset bool
+	barrier   func() bool
+
 	// Recovery backlog, prepared by Open and consumed by the shard
 	// goroutine's prologue: per-graph Seq-sorted log records past each
 	// graph's checkpoint, and the graph order to replay them in.
@@ -117,22 +125,37 @@ func (s *Service) openWAL() error {
 	if err := os.MkdirAll(wc.Dir, 0o755); err != nil {
 		return fmt.Errorf("service: wal dir: %w", err)
 	}
+	// One owner per directory: a second service appending to the same shard
+	// logs would interleave sequences and truncate this one's records at
+	// rotation. flock dies with the process, so kill -9 cannot wedge us.
+	lock, err := wal.LockDir(wc.Dir)
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	s.walLock = lock
 	ckpts, err := wal.LoadCheckpoints(wc.Dir)
 	if err != nil {
 		return fmt.Errorf("service: recovery: %w", err)
 	}
 	for _, sh := range s.shards {
-		sh.w = &shardWAL{cfg: wc, backlog: map[GraphID][]wal.Record{}, done: s.recoveryDone}
+		sh.w = &shardWAL{cfg: wc, backlog: map[GraphID][]wal.Record{}, done: s.recoveryDone, barrier: s.recoveredClean}
 		sh.w.recovering.Store(true)
 	}
 
 	// Scan every log file present — including files left by a run with a
-	// different shard count — and group the records per graph.
+	// different shard count — and group the records per graph, remembering
+	// per file which graphs it held and where a torn tail began.
 	entries, err := os.ReadDir(wc.Dir)
 	if err != nil {
 		return fmt.Errorf("service: recovery: %w", err)
 	}
+	type logScan struct {
+		graphs map[string]bool
+		torn   bool
+		tornAt int
+	}
 	perGraph := map[string][]wal.Record{}
+	scans := map[string]*logScan{}
 	var logFiles []string
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".wal") {
@@ -143,15 +166,19 @@ func (s *Service) openWAL() error {
 		if err != nil {
 			return fmt.Errorf("service: recovery: %w", err)
 		}
+		sc := &logScan{graphs: map[string]bool{}}
 		if !res.Clean {
 			// A torn tail is the expected shape of a crash mid-append; the
 			// CRC-checked prefix before it is intact and replayable. Only
 			// unacknowledged updates can live past the tear.
+			sc.torn, sc.tornAt = true, res.Torn
 			s.walTorn++
 		}
 		for _, r := range res.Records {
 			perGraph[r.Graph] = append(perGraph[r.Graph], r)
+			sc.graphs[r.Graph] = true
 		}
+		scans[path] = sc
 		logFiles = append(logFiles, path)
 	}
 
@@ -203,6 +230,26 @@ func (s *Service) openWAL() error {
 		if len(sh.w.order) > 0 {
 			sh.w.hadInput = true
 		}
+		if sc := scans[path]; sc != nil {
+			if sc.torn {
+				// Drop the torn bytes before reopening for append: O_APPEND
+				// would otherwise write acknowledged records after an
+				// undecodable frame, hiding them from the next recovery's
+				// prefix scan. The dropped bytes were never acknowledged.
+				if err := os.Truncate(path, int64(sc.tornAt)); err != nil {
+					return fmt.Errorf("service: recovery: %w", err)
+				}
+			}
+			// An inherited file can hold the log tail of live graphs now
+			// routed to other shards; this shard's own re-checkpoint does
+			// not cover them, so its log must survive until the barrier.
+			for gid := range sc.graphs {
+				if ckpts[gid] != nil && s.shardFor(GraphID(gid)) != sh {
+					sh.w.holdReset = true
+					break
+				}
+			}
+		}
 		lg, err := wal.OpenLog(path, wal.Options{
 			Policy:     wc.Policy,
 			Interval:   wc.SyncInterval,
@@ -241,6 +288,19 @@ func (s *Service) recoveryDone(ok bool) {
 			}
 		}
 		close(s.recovered)
+	}
+}
+
+// recoveredClean reports that the recovery barrier has passed cleanly:
+// every shard finished its prologue and re-checkpointed. Only after this
+// point does an inherited log file hold no unique state, making it safe to
+// truncate at the owning shard's next rotation.
+func (s *Service) recoveredClean() bool {
+	select {
+	case <-s.recovered:
+		return s.walOK.Load()
+	default:
+		return false
 	}
 }
 
@@ -324,6 +384,17 @@ func (sh *shard) checkpointShard() error {
 			return err
 		}
 		w.checkpoints.Add(1)
+	}
+	if w.holdReset {
+		if !w.barrier() {
+			// The inherited log still holds the only durable copy of some
+			// rerouted graphs' tails, and their new owners may not have
+			// re-checkpointed yet: keep the file. Replay skips records the
+			// checkpoints above cover, so deferring costs only log bytes.
+			w.since = 0
+			return nil
+		}
+		w.holdReset = false
 	}
 	if err := w.log.Reset(); err != nil {
 		return err

@@ -554,6 +554,271 @@ func TestWALTornTailAndOrphans(t *testing.T) {
 	}
 }
 
+// shardIndex mirrors Service.shardFor's FNV-1a routing for test planning.
+func shardIndex(id GraphID, shards int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return int(h % uint32(shards))
+}
+
+// reshardIDs returns two graph IDs that land on shard 0 and shard 1 under
+// a 2-shard mapping (so that under 1 shard both log to shard-0000.wal and
+// a reopen at 2 shards reroutes exactly one of them).
+func reshardIDs() (keep, moved GraphID) {
+	for i := 0; keep == "" || moved == ""; i++ {
+		id := GraphID(fmt.Sprintf("rs%d", i))
+		if shardIndex(id, 2) == 0 {
+			if keep == "" {
+				keep = id
+			}
+		} else if moved == "" {
+			moved = id
+		}
+	}
+	return keep, moved
+}
+
+// copyWALDir snapshots a WAL directory's files — the entire durable state —
+// into dst, simulating the disk image a crash at this instant would leave.
+func copyWALDir(t *testing.T, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// replayMirror rebuilds the expected maintainer state: g with updates
+// applied in order.
+func replayMirror(t *testing.T, g *graph.Graph, updates []core.Update) *core.DynamicDFS {
+	t.Helper()
+	mir := core.New(g, core.Options{RebuildD: true, Headroom: 64})
+	for i, u := range updates {
+		if _, err := mir.Apply(u); err != nil {
+			t.Fatalf("mirror replay of update %d: %v", i, err)
+		}
+	}
+	return mir
+}
+
+// TestWALReshardKeepsInheritedTail: when the shard count changes, a
+// shard's inherited log file can hold the only durable copy of records for
+// graphs rerouted to other shards. Recovery must not truncate it until
+// every shard has re-checkpointed (the barrier) — a crash in between would
+// otherwise roll the rerouted graphs back behind their acked tails.
+func TestWALReshardKeepsInheritedTail(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(31))
+	keep, moved := reshardIDs()
+	gK := graph.GnpConnected(24, 4.0/24, rng)
+	gM := graph.GnpConnected(26, 4.0/26, rng)
+	mirrors := map[GraphID]*core.DynamicDFS{
+		keep:  core.New(gK, core.Options{RebuildD: true, Headroom: 64}),
+		moved: core.New(gM, core.Options{RebuildD: true, Headroom: 64}),
+	}
+	acked := map[GraphID]uint64{}
+	s, err := Open(Config{Shards: 1, WAL: &WALConfig{Dir: dir, CheckpointEvery: 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, s, keep, gK)
+	mustCreate(t, s, moved, gM)
+	for _, id := range []GraphID{keep, moved} {
+		for i := 0; i < 8; i++ {
+			u := randUpdate(mirrors[id], rng)
+			fut, _ := s.Apply(id, u)
+			if _, _, err := fut.Wait(); err == nil {
+				mirrors[id].Apply(u)
+				acked[id]++
+			}
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with two shards: shard 0 inherits shard-0000.wal, which holds
+	// moved's unrotated tail even though moved now lives on shard 1. The
+	// inherited file must survive the whole recovery untruncated.
+	r, err := Open(Config{Shards: 2, WAL: &WALConfig{Dir: dir, CheckpointEvery: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.WaitRecovered()
+	res, err := wal.ReadLogFile(filepath.Join(dir, "shard-0000.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, rec := range res.Records {
+		if rec.Graph == string(moved) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("inherited log truncated during recovery while it held a rerouted graph's tail")
+	}
+	for id, mir := range mirrors {
+		verifyRecovered(t, r, id, mir, acked[id])
+	}
+
+	// A crash at any point of that recovery must keep every acked update:
+	// recover a copy of the directory's current disk image and cross-check.
+	crash := t.TempDir()
+	copyWALDir(t, dir, crash)
+	c, err := Open(Config{Shards: 2, WAL: &WALConfig{Dir: crash}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.WaitRecovered()
+	for id, mir := range mirrors {
+		verifyRecovered(t, c, id, mir, acked[id])
+	}
+	c.Close()
+
+	// After the barrier the hold is released: the next checkpoint rotation
+	// truncates the inherited file, so old-epoch records don't accumulate.
+	for i := 0; i < 16; i++ {
+		u := randUpdate(mirrors[keep], rng)
+		fut, _ := r.Apply(keep, u)
+		if _, _, err := fut.Wait(); err == nil {
+			mirrors[keep].Apply(u)
+			acked[keep]++
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err = wal.ReadLogFile(filepath.Join(dir, "shard-0000.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range res.Records {
+		if rec.Graph == string(moved) {
+			t.Fatal("old-epoch rerouted records survived a post-barrier rotation")
+		}
+	}
+}
+
+// TestWALReshardTornTailAppend: an inherited log kept past recovery (see
+// above) is also appended to. If its torn tail were not dropped first,
+// O_APPEND would place the new acked records behind an undecodable frame
+// and the next recovery's prefix scan would silently lose them.
+func TestWALReshardTornTailAppend(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(37))
+	keep, moved := reshardIDs()
+	gK := graph.GnpConnected(24, 4.0/24, rng)
+	gM := graph.GnpConnected(26, 4.0/26, rng)
+	mirrors := map[GraphID]*core.DynamicDFS{
+		keep:  core.New(gK, core.Options{RebuildD: true, Headroom: 64}),
+		moved: core.New(gM, core.Options{RebuildD: true, Headroom: 64}),
+	}
+	applied := map[GraphID][]core.Update{}
+	s, err := Open(Config{Shards: 1, WAL: &WALConfig{Dir: dir, CheckpointEvery: 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, s, keep, gK)
+	mustCreate(t, s, moved, gM)
+	// keep first, moved last: the log's final record belongs to moved.
+	for _, id := range []GraphID{keep, moved} {
+		for i := 0; i < 6; i++ {
+			u := randUpdate(mirrors[id], rng)
+			fut, _ := s.Apply(id, u)
+			if _, _, err := fut.Wait(); err == nil {
+				mirrors[id].Apply(u)
+				applied[id] = append(applied[id], u)
+			}
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record (crash mid-append): moved's last update rolls
+	// back to the intact prefix, like TestWALTornTailAndOrphans.
+	logPath := filepath.Join(dir, "shard-0000.wal")
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(logPath, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	applied[moved] = applied[moved][:len(applied[moved])-1]
+
+	r, err := Open(Config{Shards: 2, WAL: &WALConfig{Dir: dir, CheckpointEvery: 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.WaitRecovered()
+	// Shard 0 keeps the inherited file (it holds moved's tail) and appends
+	// keep's new records to it.
+	for i := 0; i < 5; i++ {
+		u := randUpdate(mirrors[keep], rng)
+		fut, _ := r.Apply(keep, u)
+		if _, _, err := fut.Wait(); err == nil {
+			mirrors[keep].Apply(u)
+			applied[keep] = append(applied[keep], u)
+		}
+	}
+
+	// Crash now and recover the disk image: the pre-tear records, the torn
+	// rollback, and the post-recovery appends must all be visible.
+	crash := t.TempDir()
+	copyWALDir(t, dir, crash)
+	c, err := Open(Config{Shards: 2, WAL: &WALConfig{Dir: crash}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.WaitRecovered()
+	verifyRecovered(t, c, keep, replayMirror(t, gK, applied[keep]), uint64(len(applied[keep])))
+	verifyRecovered(t, c, moved, replayMirror(t, gM, applied[moved]), uint64(len(applied[moved])))
+}
+
+// TestWALDirSingleOwner: a WAL directory admits one live service at a time;
+// the lock is released by Close so a successor can take over.
+func TestWALDirSingleOwner(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Shards: 1, WAL: &WALConfig{Dir: dir}}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(cfg); !errors.Is(err, wal.ErrLocked) {
+		t.Fatalf("second Open on a held WAL dir = %v, want wal.ErrLocked", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	r.WaitRecovered()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestOpenWALErrors(t *testing.T) {
 	if _, err := Open(Config{Shards: 1, WAL: &WALConfig{}}); err == nil {
 		t.Fatal("Open accepted a WALConfig without Dir")

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package wal
+
+import (
+	"errors"
+	"os"
+)
+
+// errWouldBlock is never produced by the fallback implementation.
+var errWouldBlock = errors.New("wal: lock would block")
+
+// flockExclusive is a no-op where flock is unavailable: single-owner
+// exclusion is not enforced on such platforms.
+func flockExclusive(*os.File) error { return nil }
+
+func funlock(*os.File) {}

@@ -1,0 +1,24 @@
+//go:build unix
+
+package wal
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+var errWouldBlock error = syscall.EWOULDBLOCK
+
+func flockExclusive(f *os.File) error {
+	for {
+		err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+		if !errors.Is(err, syscall.EINTR) {
+			return err
+		}
+	}
+}
+
+func funlock(f *os.File) {
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

@@ -126,6 +126,13 @@ func (l *Log) Append(r *Record) error {
 		return fmt.Errorf("%w (first failure: %v)", ErrLogFailed, l.failed)
 	}
 	l.buf = AppendEncode(l.buf[:0], r)
+	if len(l.buf)-8 > maxFrame {
+		// Fail-stop before any byte reaches the file: recovery would reject
+		// the frame's length prefix as corruption, discarding this record
+		// and the whole tail after it, so acknowledging it would violate
+		// acked <= recovered.
+		return l.fail(fmt.Errorf("wal: append: frame payload %d bytes: %w", len(l.buf)-8, ErrTooLarge))
+	}
 	t0 := time.Now()
 	allow, injected := l.opts.Injector.beforeWrite(len(l.buf))
 	var n int

@@ -17,8 +17,16 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // wraps it in every loud-failure path so callers can errors.Is against it.
 var ErrCorrupt = errors.New("wal: corrupt data")
 
-// maxFrame bounds a single frame's payload. A length prefix beyond it is
-// treated as corruption rather than an allocation request.
+// ErrTooLarge reports a record whose encoded frame payload exceeds
+// maxFrame. Log.Append rejects such records before any byte reaches the
+// file: the decoder treats an oversized length prefix as corruption, so an
+// appended-and-acknowledged oversized record would be discarded at
+// recovery — along with every record after it — as a torn tail.
+var ErrTooLarge = errors.New("wal: record exceeds maximum frame size")
+
+// maxFrame bounds a single frame's payload, enforced symmetrically: Append
+// refuses to write a larger frame, and a length prefix beyond it on decode
+// is treated as corruption rather than an allocation request.
 const maxFrame = 1 << 26
 
 // Record is one logged update: the graph it applies to, the graph's update

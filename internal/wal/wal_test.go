@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -171,6 +172,71 @@ func TestLogReset(t *testing.T) {
 	}
 	if !res.Clean || len(res.Records) != 1 {
 		t.Fatalf("post-reset scan: %+v", res)
+	}
+}
+
+// TestAppendRejectsOversizedFrame: a frame the decoder would reject as
+// corrupt must never be appended (and thus never acknowledged) — the log
+// fail-stops before any byte reaches the file.
+func TestAppendRejectsOversizedFrame(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.wal")
+	lg, err := OpenLog(path, Options{Policy: SyncBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg.Close()
+	ok := testRecords()[0]
+	if err := lg.Append(&ok); err != nil {
+		t.Fatal(err)
+	}
+	big := Record{Graph: strings.Repeat("g", maxFrame), Seq: 2,
+		Update: core.Update{Kind: core.InsertEdge, U: 0, V: 1}}
+	if err := lg.Append(&big); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized append = %v, want ErrTooLarge", err)
+	}
+	// Sticky fail-stop: the write path is dead, like any other append error.
+	if err := lg.Append(&ok); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("append after oversized reject = %v, want ErrLogFailed", err)
+	}
+	// Nothing of the oversized frame reached the file: the log is clean and
+	// holds exactly the pre-failure prefix.
+	if err := lg.Sync(); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("sync after fail-stop = %v, want ErrLogFailed", err)
+	}
+	res, err := ReadLogFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean || len(res.Records) != 1 || !reflect.DeepEqual(res.Records[0], ok) {
+		t.Fatalf("oversized frame leaked into the file: %+v", res)
+	}
+}
+
+func TestLockDirExclusive(t *testing.T) {
+	dir := t.TempDir()
+	l1, err := LockDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LockDir(dir); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second LockDir = %v, want ErrLocked", err)
+	}
+	if err := l1.Release(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := LockDir(dir)
+	if err != nil {
+		t.Fatalf("relock after release: %v", err)
+	}
+	if err := l2.Release(); err != nil {
+		t.Fatal(err)
+	}
+	// Release is idempotent and nil-safe.
+	if err := l2.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (*DirLock)(nil).Release(); err != nil {
+		t.Fatal(err)
 	}
 }
 
