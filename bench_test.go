@@ -456,35 +456,7 @@ func BenchmarkUpdateExecLowChurn(b *testing.B) {
 //     Record calls as a percentage of a calibrated untraced update. The
 //     acceptance target is hotpath-record-pct < 1.
 func BenchmarkUpdateExecObsOverhead(b *testing.B) {
-	const n = 16384
-	setup := func(b *testing.B) (*Maintainer, int, int) {
-		rng := rand.New(rand.NewSource(1))
-		g := GnpConnected(n, 3.0/float64(n), rng)
-		m := NewMaintainerWith(g, Options{RebuildD: true, ReuseTree: true})
-		tr := m.Tree()
-		for x := 0; x < g.NumVertexSlots(); x++ {
-			if !tr.Present(x) || tr.Level(x) < 3 {
-				continue
-			}
-			a := tr.Parent[tr.Parent[tr.Parent[x]]]
-			if a != m.PseudoRoot() && !m.Graph().HasEdge(x, a) {
-				return m, x, a
-			}
-		}
-		b.Skip("no comparable non-edge found")
-		return nil, 0, 0
-	}
-	toggle := func(b *testing.B, m *Maintainer, u, v, i int) {
-		var err error
-		if i%2 == 0 {
-			err = m.InsertEdge(u, v)
-		} else {
-			err = m.DeleteEdge(u, v)
-		}
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
+	setup, toggle := lowChurnToggleSetup, toggleEdge
 	b.Run("mode=off", func(b *testing.B) {
 		m, u, v := setup(b)
 		b.ResetTimer()
@@ -542,6 +514,102 @@ func BenchmarkUpdateExecObsOverhead(b *testing.B) {
 		if updateNs > 0 {
 			// The apply hot path records two histograms per update.
 			b.ReportMetric(100*2*recordNs/updateNs, "hotpath-record-pct")
+		}
+	})
+}
+
+// lowChurnToggleSetup builds the cheapest comparable update workload the
+// hot-path overhead benchmarks share: a maintainer over a sparse n=16384
+// graph and one non-tree (descendant, 3rd ancestor) pair to toggle with
+// alternating inserts and deletes.
+func lowChurnToggleSetup(b *testing.B) (*Maintainer, int, int) {
+	const n = 16384
+	rng := rand.New(rand.NewSource(1))
+	g := GnpConnected(n, 3.0/float64(n), rng)
+	m := NewMaintainerWith(g, Options{RebuildD: true, ReuseTree: true})
+	tr := m.Tree()
+	for x := 0; x < g.NumVertexSlots(); x++ {
+		if !tr.Present(x) || tr.Level(x) < 3 {
+			continue
+		}
+		a := tr.Parent[tr.Parent[tr.Parent[x]]]
+		if a != m.PseudoRoot() && !m.Graph().HasEdge(x, a) {
+			return m, x, a
+		}
+	}
+	b.Skip("no comparable non-edge found")
+	return nil, 0, 0
+}
+
+func toggleEdge(b *testing.B, m *Maintainer, u, v, i int) {
+	var err error
+	if i%2 == 0 {
+		err = m.InsertEdge(u, v)
+	} else {
+		err = m.DeleteEdge(u, v)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkUpdateExecTenantOverhead prices the per-tenant cost attribution
+// the serving shard adds to the same hot path BenchmarkUpdateExecObsOverhead
+// measures — one TenantMeter.RecordUpdate (four atomic adds) plus one
+// weighted SpaceSaving.Observe per applied update:
+//
+//   - mode=off     — the bare maintainer update.
+//   - mode=metered — the update plus exactly what the shard loop adds: the
+//     meter fold and the hottest-graphs sketch observation.
+//   - record       — the attribution primitives alone; reports meter-ns/op
+//     and hotpath-meter-pct, their cost as a percentage of a calibrated
+//     unmetered update. The acceptance target is hotpath-meter-pct < 1,
+//     the same bar as the histogram instrumentation.
+func BenchmarkUpdateExecTenantOverhead(b *testing.B) {
+	setup, toggle := lowChurnToggleSetup, toggleEdge
+	b.Run("mode=off", func(b *testing.B) {
+		m, u, v := setup(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			toggle(b, m, u, v, i)
+		}
+	})
+	b.Run("mode=metered", func(b *testing.B) {
+		m, u, v := setup(b)
+		var meter obs.TenantMeter
+		hot := obs.NewSpaceSaving(128)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			toggle(b, m, u, v, i)
+			apply := time.Since(start)
+			meter.RecordUpdate(apply, apply/2, apply/4, false)
+			hot.Observe("bench-tenant", uint64(apply))
+		}
+	})
+	b.Run("record", func(b *testing.B) {
+		var meter obs.TenantMeter
+		hot := obs.NewSpaceSaving(128)
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			// Steady-state apply costs: jitter around a few µs so the sketch
+			// exercises its tracked-key fast path, as one graph's stream does.
+			d := time.Duration(2500 + int64(i&1023))
+			meter.RecordUpdate(d, d/2, d/4, i&63 == 0)
+			hot.Observe("bench-tenant", uint64(d))
+		}
+		recordNs := float64(time.Since(start).Nanoseconds()) / float64(b.N)
+		// Calibrate the unmetered update this attributes against.
+		m, u, v := setup(b)
+		const calib = 2000
+		us := time.Now()
+		for i := 0; i < calib; i++ {
+			toggle(b, m, u, v, i)
+		}
+		updateNs := float64(time.Since(us).Nanoseconds()) / calib
+		b.ReportMetric(recordNs, "meter-ns/op")
+		if updateNs > 0 {
+			b.ReportMetric(100*recordNs/updateNs, "hotpath-meter-pct")
 		}
 	})
 }

@@ -13,12 +13,17 @@
 //	        -writers 8 -readers 16 -batch 4 -querymix 50 -duration 10s
 //	dfsload -debugaddr localhost:6060 -duration 1m   # then:
 //	curl localhost:6060/debug/service                # live histograms+traces
+//	curl localhost:6060/debug/service/tenants        # hottest graphs + meters
+//	curl localhost:6060/debug/service/history        # sampled time-series
+//	curl localhost:6060/debug/metrics                # Prometheus exposition
 //
 // With -debugaddr the service's debug endpoint (metrics JSON with per-shard
-// latency percentiles, slowest update traces, expvar, pprof) is served for
-// the whole run, and the final report prints p50/p99 update and query
-// latency, the stage-time breakdown of the update loops, and the top
-// slowest traces.
+// latency percentiles, slowest update traces, per-tenant cost attribution,
+// the sampler's time-series, a Prometheus text exposition, expvar, pprof)
+// is served for the whole run; -sample sets the sampler interval (the width
+// of one history window). The final report prints p50/p99 update and query
+// latency, the top-K hottest graphs with their per-tenant meters (-hot),
+// the stage-time breakdown of the update loops, and the top slowest traces.
 package main
 
 import (
@@ -52,6 +57,8 @@ func main() {
 		verifyPc = flag.Int("verify", 2, "percent of reads running full DFS verification")
 		queryMix = flag.Int("querymix", 25, "percent of reads using the snapshot analytics engine (LCA/bicon/subtree via Service.Query)")
 		qcache   = flag.Int("querycache", 0, "index-cache capacity per shard (0 = default)")
+		sample   = flag.Duration("sample", 0, "metrics sampler interval — the width of one /debug/service/history window (0 = default 1s)")
+		hotK     = flag.Int("hot", 8, "rows in the final hottest-graphs table (0 disables)")
 		duration = flag.Duration("duration", 5*time.Second, "load duration")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		dbgAddr  = flag.String("debugaddr", "", "serve the live debug endpoint (JSON metrics, slow traces, pprof) on this address for the whole run, e.g. localhost:6060")
@@ -63,7 +70,7 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := dfs.ServiceConfig{Shards: *shards, QueryCache: *qcache}
+	cfg := dfs.ServiceConfig{Shards: *shards, QueryCache: *qcache, SampleInterval: *sample}
 	if *walDir != "" {
 		var policy = dfs.WALSyncBatch
 		switch *walSync {
@@ -320,6 +327,21 @@ func main() {
 			time.Duration(sm.ApplyHist.Quantile(0.50)).Round(time.Microsecond),
 			time.Duration(sm.ApplyHist.Quantile(0.99)).Round(time.Microsecond),
 			sm.PRAMDepth, sm.PRAMWork)
+	}
+
+	// Per-tenant cost attribution: the most expensive graphs by cumulative
+	// apply cost, ranked by the per-shard Space-Saving sketches with each
+	// one's exact meter sample alongside.
+	if hot := svc.HotGraphs(*hotK); len(hot) > 0 {
+		fmt.Printf("\n%-4s %-14s %5s %8s %8s %12s %10s %9s %12s\n",
+			"hot", "graph", "shard", "updates", "rejects", "apply", "wal bytes", "idx b/p", "est cost")
+		for i, hg := range hot {
+			fmt.Printf("%-4d %-14s %5d %8d %8d %12v %10d %4d/%-4d %12v\n",
+				i+1, hg.Graph, hg.Shard, hg.Applied, hg.Rejected,
+				hg.ApplyTime.Round(time.Microsecond), hg.WALBytes,
+				hg.IndexBuilds, hg.IndexPatches,
+				time.Duration(hg.EstCost).Round(time.Microsecond))
+		}
 	}
 
 	// Latency distributions across all shards (merged histograms).

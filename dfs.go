@@ -65,10 +65,20 @@
 // log-bucketed latency histograms (update apply, mailbox wait, snapshot
 // publish, batch size, index build/patch, query resolution) and a
 // cumulative stage-time breakdown of the update loops; Service.SlowTraces
-// returns the slowest retained per-update stage traces; and
-// Service.DebugHandler serves all of it — plus expvar and pprof — as a live
-// HTTP debug endpoint (cmd/dfsload mounts it under -debugaddr). Tracing is
-// nil-gated in the maintainer, so single-tenant users pay nothing.
+// returns the slowest retained per-update stage traces. Metrics is a pure
+// read: rates derive from monotonic cumulative counters cut into windows by
+// a background sampler (ServiceConfig.SampleInterval), so any number of
+// concurrent pollers observe identical, non-interfering values, and the
+// sampler's ring buffers give every shard a scrape-independent time-series
+// (Service.History). Cost is attributed per tenant: every graph carries a
+// TenantMeter (applied/rejected updates, apply/engine/dmaint time, WAL
+// bytes, index builds/patches — Service.TenantMetrics), and a per-shard
+// Space-Saving sketch ranks the most expensive graphs with bounded memory
+// (Service.HotGraphs). Service.DebugHandler serves all of it — metrics,
+// tenants, history, slow traces, a Prometheus text exposition at
+// /debug/metrics, expvar and pprof — as a live HTTP debug endpoint
+// (cmd/dfsload mounts it under -debugaddr). Tracing is nil-gated in the
+// maintainer, so single-tenant users pay nothing.
 package dfs
 
 import (
@@ -197,6 +207,31 @@ type ServiceMetrics = service.Metrics
 
 // ServiceShardMetrics is one shard's sample within ServiceMetrics.
 type ServiceShardMetrics = service.ShardMetrics
+
+// TenantMetrics is one graph's cumulative cost attribution — applied and
+// rejected updates, apply/engine/dmaint wall-clock, WAL bytes appended,
+// index builds/patches — sampled lock-free by Service.TenantMetrics.
+type TenantMetrics = service.TenantMetrics
+
+// TenantCounters is the raw counter sample embedded in TenantMetrics.
+type TenantCounters = obs.TenantCounters
+
+// HotGraph is one entry of Service.HotGraphs, the hottest-graphs ranking
+// merged from the per-shard Space-Saving sketches: the sketch's estimated
+// cumulative apply cost (with its bounded overestimation) plus the graph's
+// exact TenantMetrics sample.
+type HotGraph = service.HotGraph
+
+// ServiceHistory is the sampler's retained time-series (Service.History):
+// per-shard ring buffers of update/reject rates, queue depth and
+// high-water, windowed apply p99, and WAL throughput, oldest point first.
+type ServiceHistory = service.History
+
+// ServiceShardHistory is one shard's series within ServiceHistory.
+type ServiceShardHistory = service.ShardHistory
+
+// ServiceHistoryPoint is one sampled window of a shard's series.
+type ServiceHistoryPoint = service.HistoryPoint
 
 // HistogramSnapshot is an immutable sample of a lock-free log-bucketed
 // latency histogram: exact count/sum/max plus estimated quantiles

@@ -90,6 +90,27 @@ func (s *HistSnapshot) Merge(o HistSnapshot) {
 	}
 }
 
+// Delta returns the samples recorded between prev and s (two snapshots of
+// the same histogram, prev older): counts and sums subtract bucket-wise.
+// The window's true max is unrecoverable from cumulative state, so Max is
+// carried over from s — quantile estimates clamp against the lifetime max,
+// which can only round a window's estimate down, never up past reality.
+// Snapshots taken concurrently with records may be ahead on some buckets
+// and behind on others; any underflowing bucket clamps to 0.
+func (s HistSnapshot) Delta(prev HistSnapshot) HistSnapshot {
+	d := HistSnapshot{Max: s.Max}
+	if s.Sum > prev.Sum {
+		d.Sum = s.Sum - prev.Sum
+	}
+	for i := range s.Buckets {
+		if c := s.Buckets[i]; c > prev.Buckets[i] {
+			d.Buckets[i] = c - prev.Buckets[i]
+			d.Count += d.Buckets[i]
+		}
+	}
+	return d
+}
+
 // Mean returns the mean sample, 0 when empty.
 func (s HistSnapshot) Mean() float64 {
 	if s.Count == 0 {

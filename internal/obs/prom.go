@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the Prometheus text exposition
+// format this package writes.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromLabel is one name="value" pair of a sample line.
+type PromLabel struct {
+	Name  string
+	Value string
+}
+
+// PromWriter renders metrics in the Prometheus text exposition format
+// v0.0.4 using only the standard library. It enforces the format's
+// naming rules as it writes: every family name and label name is
+// validated, a family may be declared only once, and samples may only be
+// written for a declared family — violations are recorded as the first
+// error (Err) and the offending output suppressed, so a bad metric name
+// can never reach a scraper as unparseable text.
+//
+// Histograms are written natively: HistSnapshot's power-of-2 buckets map
+// directly onto cumulative `le` buckets.
+type PromWriter struct {
+	w        io.Writer
+	families map[string]string // name → type
+	family   string            // family currently open for samples
+	ftype    string
+	err      error
+}
+
+// NewPromWriter returns a writer emitting to w.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, families: make(map[string]string)}
+}
+
+// Err returns the first naming/IO error encountered, nil when the output
+// so far is a valid exposition.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) fail(err error) {
+	if p.err == nil {
+		p.err = err
+	}
+}
+
+// Family declares a metric family (typ is "counter", "gauge" or
+// "histogram") and opens it for samples, writing its # HELP and # TYPE
+// header lines. Counter family names must end in "_total" per convention;
+// histogram families must not (the writer appends _bucket/_sum/_count).
+func (p *PromWriter) Family(name, typ, help string) {
+	if !ValidPromName(name) {
+		p.fail(fmt.Errorf("obs: invalid prometheus metric name %q", name))
+		return
+	}
+	if _, dup := p.families[name]; dup {
+		p.fail(fmt.Errorf("obs: duplicate prometheus metric family %q", name))
+		return
+	}
+	switch typ {
+	case "counter", "gauge", "histogram":
+	default:
+		p.fail(fmt.Errorf("obs: metric family %q: unknown type %q", name, typ))
+		return
+	}
+	if typ == "counter" && !strings.HasSuffix(name, "_total") {
+		p.fail(fmt.Errorf("obs: counter family %q must end in _total", name))
+		return
+	}
+	if typ == "histogram" && strings.HasSuffix(name, "_total") {
+		p.fail(fmt.Errorf("obs: histogram family %q must not end in _total", name))
+		return
+	}
+	p.families[name] = typ
+	p.family, p.ftype = name, typ
+	if help != "" {
+		fmt.Fprintf(p.w, "# HELP %s %s\n", name, escapeHelp(help))
+	}
+	fmt.Fprintf(p.w, "# TYPE %s %s\n", name, typ)
+}
+
+// Value writes one sample line for the open counter or gauge family.
+func (p *PromWriter) Value(v float64, labels ...PromLabel) {
+	if p.family == "" || p.ftype == "histogram" {
+		p.fail(fmt.Errorf("obs: Value outside an open counter/gauge family"))
+		return
+	}
+	p.sample(p.family, labels, nil, v)
+}
+
+// Histogram writes the open histogram family's _bucket/_sum/_count series
+// for one HistSnapshot. scale converts recorded sample units to exposition
+// units (1e-9 for nanosecond samples exposed as seconds; 1 for unitless).
+// Empty buckets are elided — cumulative counts keep the series exact — and
+// the mandatory +Inf bucket always carries the total count.
+func (p *PromWriter) Histogram(s HistSnapshot, scale float64, labels ...PromLabel) {
+	if p.family == "" || p.ftype != "histogram" {
+		p.fail(fmt.Errorf("obs: Histogram outside an open histogram family"))
+		return
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		// Bucket 0 holds samples ≤ 0; bucket i ≥ 1 holds [2^(i-1), 2^i),
+		// so its inclusive upper bound for `le` purposes is 2^i.
+		le := 0.0
+		if i > 0 {
+			le = math.Ldexp(1, i) * scale
+		}
+		p.sample(p.family+"_bucket", labels, &PromLabel{Name: "le", Value: promFloat(le)}, float64(cum))
+	}
+	p.sample(p.family+"_bucket", labels, &PromLabel{Name: "le", Value: "+Inf"}, float64(s.Count))
+	p.sample(p.family+"_sum", labels, nil, float64(s.Sum)*scale)
+	p.sample(p.family+"_count", labels, nil, float64(s.Count))
+}
+
+// sample writes one `name{labels} value` line. le, when non-nil, is
+// appended after the caller's labels.
+func (p *PromWriter) sample(name string, labels []PromLabel, le *PromLabel, v float64) {
+	var sb strings.Builder
+	sb.WriteString(name)
+	nl := len(labels)
+	if le != nil {
+		nl++
+	}
+	if nl > 0 {
+		sb.WriteByte('{')
+		for i := 0; i <= len(labels); i++ {
+			var l PromLabel
+			if i < len(labels) {
+				l = labels[i]
+			} else if le != nil {
+				l = *le
+			} else {
+				break
+			}
+			if !ValidPromLabelName(l.Name) {
+				p.fail(fmt.Errorf("obs: metric %q: invalid label name %q", name, l.Name))
+				return
+			}
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(l.Name)
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabel(l.Value))
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(promFloat(v))
+	sb.WriteByte('\n')
+	if _, err := io.WriteString(p.w, sb.String()); err != nil {
+		p.fail(err)
+	}
+}
+
+// promFloat renders v the way Prometheus expects (shortest round-trip
+// form; integral values without an exponent where possible).
+func promFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ValidPromName reports whether s is a valid Prometheus metric name:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func ValidPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ValidPromLabelName reports whether s is a valid label name:
+// [a-zA-Z_][a-zA-Z0-9_]* and not double-underscore reserved.
+func ValidPromLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// escapeLabel escapes a label value per the text format: backslash,
+// double-quote and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}

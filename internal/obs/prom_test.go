@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidPromName(t *testing.T) {
+	for _, ok := range []string{"a", "dfs_updates_total", "A9_b:c", "_x"} {
+		if !ValidPromName(ok) {
+			t.Errorf("ValidPromName(%q) = false", ok)
+		}
+	}
+	for _, bad := range []string{"", "9x", "a-b", "a.b", "a b", "héllo"} {
+		if ValidPromName(bad) {
+			t.Errorf("ValidPromName(%q) = true", bad)
+		}
+	}
+	for _, ok := range []string{"shard", "le", "_a", "a_9"} {
+		if !ValidPromLabelName(ok) {
+			t.Errorf("ValidPromLabelName(%q) = false", ok)
+		}
+	}
+	for _, bad := range []string{"", "__reserved", "9a", "a-b", "a:b"} {
+		if ValidPromLabelName(bad) {
+			t.Errorf("ValidPromLabelName(%q) = true", bad)
+		}
+	}
+}
+
+func TestPromWriterScalars(t *testing.T) {
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Family("dfs_updates_total", "counter", "updates applied")
+	p.Value(42, PromLabel{"shard", "0"})
+	p.Value(7, PromLabel{"shard", "1"})
+	p.Family("dfs_queue_depth", "gauge", `depth "now"`)
+	p.Value(3.5)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP dfs_updates_total updates applied
+# TYPE dfs_updates_total counter
+dfs_updates_total{shard="0"} 42
+dfs_updates_total{shard="1"} 7
+# HELP dfs_queue_depth depth "now"
+# TYPE dfs_queue_depth gauge
+dfs_queue_depth 3.5
+`
+	if sb.String() != want {
+		t.Fatalf("output:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestPromWriterHistogram(t *testing.T) {
+	var h Histogram
+	h.RecordValue(1000) // bucket 10: [512,1024) → le 1024
+	h.RecordValue(1000)
+	h.RecordValue(1_000_000) // bucket 20 → le 1048576
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Family("dfs_apply_seconds", "histogram", "")
+	p.Histogram(h.Snapshot(), 1e-9)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE dfs_apply_seconds histogram
+dfs_apply_seconds_bucket{le="1.024e-06"} 2
+dfs_apply_seconds_bucket{le="0.001048576"} 3
+dfs_apply_seconds_bucket{le="+Inf"} 3
+dfs_apply_seconds_sum 0.001002
+dfs_apply_seconds_count 3
+`
+	if sb.String() != want {
+		t.Fatalf("output:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestPromWriterRejectsBadMetrics(t *testing.T) {
+	check := func(name string, f func(p *PromWriter)) {
+		t.Helper()
+		p := NewPromWriter(&strings.Builder{})
+		f(p)
+		if p.Err() == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+	check("bad name", func(p *PromWriter) { p.Family("bad-name", "gauge", "") })
+	check("dup family", func(p *PromWriter) {
+		p.Family("x", "gauge", "")
+		p.Family("x", "gauge", "")
+	})
+	check("counter without _total", func(p *PromWriter) { p.Family("x", "counter", "") })
+	check("histogram with _total", func(p *PromWriter) { p.Family("x_total", "histogram", "") })
+	check("unknown type", func(p *PromWriter) { p.Family("x", "summary", "") })
+	check("value without family", func(p *PromWriter) { p.Value(1) })
+	check("value into histogram", func(p *PromWriter) {
+		p.Family("h", "histogram", "")
+		p.Value(1)
+	})
+	check("hist into gauge", func(p *PromWriter) {
+		p.Family("g", "gauge", "")
+		p.Histogram(HistSnapshot{}, 1)
+	})
+	check("bad label", func(p *PromWriter) {
+		p.Family("g", "gauge", "")
+		p.Value(1, PromLabel{"bad-label", "v"})
+	})
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Family("g", "gauge", "")
+	p.Value(1, PromLabel{"graph", "a\"b\\c\nd"})
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if want := `g{graph="a\"b\\c\nd"} 1` + "\n"; !strings.HasSuffix(sb.String(), want) {
+		t.Fatalf("output %q lacks %q", sb.String(), want)
+	}
+}

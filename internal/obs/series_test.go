@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSeriesRingWrap pins ordering and eviction across wrap-around.
+func TestSeriesRingWrap(t *testing.T) {
+	r := NewSeriesRing([]string{"a", "b"}, 4)
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 10; i++ {
+		r.Add(t0.Add(time.Duration(i)*time.Second), int64(i), int64(i*10))
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4", r.Len())
+	}
+	pts := r.Snapshot()
+	for i, p := range pts {
+		want := int64(6 + i) // newest 4 of 0..9
+		if p.Values[0] != want || p.Values[1] != want*10 {
+			t.Fatalf("point %d = %v, want [%d %d]", i, p.Values, want, want*10)
+		}
+		if !p.At.Equal(t0.Add(time.Duration(want) * time.Second)) {
+			t.Fatalf("point %d at %v", i, p.At)
+		}
+	}
+	prev, last, n := r.LastTwo()
+	if n != 2 || last.Values[0] != 9 || prev.Values[0] != 8 {
+		t.Fatalf("LastTwo = %v, %v, %d", prev.Values, last.Values, n)
+	}
+}
+
+// TestSeriesRingPartial covers the not-yet-full states LastTwo must report.
+func TestSeriesRingPartial(t *testing.T) {
+	r := NewSeriesRing([]string{"x"}, 8)
+	if _, _, n := r.LastTwo(); n != 0 {
+		t.Fatalf("empty ring LastTwo n = %d", n)
+	}
+	r.Add(time.Unix(1, 0), 7)
+	if _, last, n := r.LastTwo(); n != 1 || last.Values[0] != 7 {
+		t.Fatalf("one-point LastTwo = %v, %d", last.Values, n)
+	}
+	if got := len(r.Snapshot()); got != 1 {
+		t.Fatalf("snapshot len %d", got)
+	}
+}
+
+// TestSeriesRingSnapshotIsolation: mutating a snapshot must not reach the
+// ring's backing storage (Add reuses slots).
+func TestSeriesRingSnapshotIsolation(t *testing.T) {
+	r := NewSeriesRing([]string{"x"}, 2)
+	r.Add(time.Unix(1, 0), 1)
+	snap := r.Snapshot()
+	snap[0].Values[0] = 99
+	if got := r.Snapshot()[0].Values[0]; got != 1 {
+		t.Fatalf("ring value mutated through snapshot: %d", got)
+	}
+}
+
+// TestHistSnapshotDelta pins the windowed subtraction used by the sampler.
+func TestHistSnapshotDelta(t *testing.T) {
+	var h Histogram
+	h.RecordValue(100)
+	h.RecordValue(2000)
+	prev := h.Snapshot()
+	h.RecordValue(2000)
+	h.RecordValue(50000)
+	cur := h.Snapshot()
+	d := cur.Delta(prev)
+	if d.Count != 2 {
+		t.Fatalf("delta count %d, want 2", d.Count)
+	}
+	if d.Sum != 52000 {
+		t.Fatalf("delta sum %d, want 52000", d.Sum)
+	}
+	if d.Buckets[bucketOf(2000)] != 1 || d.Buckets[bucketOf(50000)] != 1 {
+		t.Fatalf("delta buckets wrong: %v", d.Buckets)
+	}
+	if d.Max != cur.Max {
+		t.Fatalf("delta max %d, want lifetime max %d", d.Max, cur.Max)
+	}
+	// Identical snapshots: empty window.
+	if e := cur.Delta(cur); e.Count != 0 || e.Sum != 0 {
+		t.Fatalf("self-delta not empty: %+v", e)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"expvar"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"repro/internal/obs"
@@ -22,12 +23,19 @@ type debugPayload struct {
 // DebugHandler returns an http.Handler exposing the service's live
 // internals:
 //
-//	/debug/service         full Metrics sample + slowest retained traces (JSON)
-//	/debug/service/traces  just the slowest-trace ring, slowest first (JSON)
-//	/debug/obs             the obs.Registry (per-shard gauges, histograms,
-//	                       PRAM accounting, snapquery cache), one key per line
-//	/debug/vars            process-wide expvar (memstats, cmdline)
-//	/debug/pprof/          CPU/heap/goroutine/block profiles
+//	/debug/service          full Metrics sample + slowest retained traces (JSON)
+//	/debug/service/traces   just the slowest-trace ring, slowest first (JSON)
+//	/debug/service/tenants  hottest graphs by cumulative apply cost with each
+//	                        one's exact per-tenant counters (JSON; ?k=N caps
+//	                        the ranking, default 32)
+//	/debug/service/history  per-shard sampled time-series — update rate,
+//	                        queue depth/high-water, windowed apply p99, WAL
+//	                        bytes and sync p99 (JSON, oldest point first)
+//	/debug/metrics          Prometheus text exposition (format v0.0.4)
+//	/debug/obs              the obs.Registry (per-shard gauges, histograms,
+//	                        PRAM accounting, snapquery cache), one key per line
+//	/debug/vars             process-wide expvar (memstats, cmdline)
+//	/debug/pprof/           CPU/heap/goroutine/block profiles
 //
 // Every endpoint samples atomics and read locks only — hitting it never
 // blocks a shard's update loop. Mount it on any mux or serve it directly:
@@ -49,6 +57,25 @@ func (s *Service) DebugHandler() http.Handler {
 	mux.HandleFunc("/debug/service/traces", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.SlowTraces())
 	})
+	mux.HandleFunc("/debug/service/tenants", func(w http.ResponseWriter, r *http.Request) {
+		k := 32
+		if v := r.URL.Query().Get("k"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				k = n
+			}
+		}
+		writeJSON(w, struct {
+			Now time.Time  `json:"now"`
+			Hot []HotGraph `json:"hot"`
+		}{time.Now(), s.HotGraphs(k)})
+	})
+	mux.HandleFunc("/debug/service/history", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.History())
+	})
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		writePromMetrics(w, s.Metrics())
+	})
 	mux.Handle("/debug/obs", s.reg.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -63,7 +90,8 @@ func (s *Service) DebugHandler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("dfs service debug endpoints:\n" +
-			"  /debug/service\n  /debug/service/traces\n  /debug/obs\n" +
+			"  /debug/service\n  /debug/service/traces\n  /debug/service/tenants\n" +
+			"  /debug/service/history\n  /debug/metrics\n  /debug/obs\n" +
 			"  /debug/vars\n  /debug/pprof/\n"))
 	})
 	return mux

@@ -103,15 +103,40 @@
 // so observing the service never blocks an update loop.
 //
 // Metrics returns one consistent sample of every shard: queue depth and
-// capacity plus the per-window high-water mark (the deepest the mailbox
-// has been since the previous call — a burst that arrived and drained
-// between two polls is still visible), applied/rejected counts, the
-// windowed update rate, snapshot staleness, and the shard machine's PRAM
-// depth/work accounting. Rate and high-water windows are shared by all
-// Metrics callers and reset at each call; every shard measures its first
-// window from one common service-start instant, so the per-shard windows
-// of any single call — first or not — span the same interval and the
-// aggregate rate is always a sum over one common window.
+// capacity plus the sampler-window high-water mark (the deepest the
+// mailbox has been in the current or last completed sampler window — a
+// burst that arrived and drained between two polls is still visible),
+// applied/rejected counts, the windowed update rate, snapshot staleness,
+// and the shard machine's PRAM depth/work accounting. Metrics is a pure
+// read: every rate derives from monotonic cumulative counters cut into
+// windows by the background sampler (below), never from read-and-reset
+// state, so any number of concurrent or interleaved pollers — humans with
+// curl, a Prometheus scraper, the dfsload reporter — observe identical,
+// non-interfering values (TestMetricsConcurrentPollers pins this under
+// -race).
+//
+// The sampler is one goroutine per Service. Every Config.SampleInterval it
+// cuts a window at a common instant across all shards: it snapshots each
+// shard's cumulative counters into a fixed-size ring
+// (Config.SampleWindows, default 256), computes the windowed apply and
+// WAL-sync p99 by histogram subtraction, and rolls the queue high-water
+// mark over. History returns the retained per-shard time-series — update
+// and reject rates, queue depth and high-water, windowed p99s, WAL
+// throughput, oldest point first — so a regression is visible in-process
+// without any external scrape infrastructure. Close stops the sampler
+// before the shards drain.
+//
+// Cost is attributed per tenant, not just per shard. Every graph carries
+// an obs.TenantMeter — applied/rejected updates, apply/engine/dmaint
+// wall-clock, WAL bytes appended, snapquery index builds/patches, all
+// single-writer or reader-side atomics — sampled lock-free by
+// TenantMetrics. Because "millions of graphs" rules out iterating meters
+// to find the expensive ones, each shard also feeds a bounded Space-Saving
+// sketch (obs.SpaceSaving) with every update's apply nanoseconds; HotGraphs
+// merges the per-shard sketches into the k most expensive graphs, hottest
+// first, each with its exact meter sample and the sketch's error bound.
+// This ranking is exactly the signal the shard-rebalancing roadmap item
+// consumes: it names the tenant that is 90% of a saturated shard's load.
 //
 // Latency ships as lock-free log-bucketed histograms (obs.Histogram):
 // maintainer apply time, mailbox wait, snapshot publish, batch-round size
@@ -131,10 +156,20 @@
 // first view.
 //
 // DebugHandler serves all of it over HTTP — /debug/service (metrics +
-// traces as JSON), /debug/obs (the obs.Registry every shard publishes its
-// gauges, histograms, machine and index cache into; see Obs), /debug/vars
-// (expvar) and /debug/pprof — so a running service (e.g. dfsload
-// -debugaddr) can be inspected with curl alone.
+// traces as JSON), /debug/service/tenants (the HotGraphs ranking),
+// /debug/service/history (the sampler's time-series), /debug/metrics
+// (Prometheus text exposition, format v0.0.4, written with the stdlib-only
+// obs.PromWriter: shard gauges and counters labeled by shard, stage times,
+// WAL counters, snapquery cache stats, and the obs histograms as native
+// Prometheus histograms — the power-of-2 buckets map directly to le
+// bounds; per-tenant data stays on the JSON endpoints because unbounded
+// tenant IDs do not belong in label sets), /debug/obs (the obs.Registry
+// every shard publishes its gauges, histograms, machine and index cache
+// into; see Obs), /debug/vars (expvar) and /debug/pprof — so a running
+// service (e.g. dfsload -debugaddr) can be inspected with curl alone.
+// During WAL recovery, Metrics and /debug/service also report replay
+// progress (graphs recovered / total, records replayed), so degraded-mode
+// reads are diagnosable while the backlog drains.
 //
 // # Stats threading
 //

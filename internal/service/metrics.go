@@ -38,23 +38,24 @@ type ShardMetrics struct {
 	Graphs     int
 	QueueDepth int // tasks waiting in the mailbox at sample time
 	QueueCap   int
-	// QueueHighWater is the deepest the mailbox has been since the previous
-	// Metrics call (raised by every submission), so a burst that arrived
-	// and drained entirely between two polls is still visible. Like the
-	// UpdatesPerSec window, it resets at each sample: all Metrics callers
-	// share one high-water window per shard.
+	// QueueHighWater is the deepest the mailbox has been over the sampler's
+	// last completed window plus the in-progress one (submitters raise the
+	// mark on every send), so a burst that arrived and drained entirely
+	// between two polls is still visible. The background sampler owns the
+	// window reset; Metrics only reads, so concurrent pollers never consume
+	// each other's windows.
 	QueueHighWater int
 	Updates        uint64 // updates applied since start
 	Rejected       uint64 // updates the maintainer rejected
-	// UpdatesPerSec is the shard loop's applied-update rate over the window
-	// since the previous Metrics call (all callers share one window per
-	// shard). The first sample has no previous call, so it reports the
-	// lifetime average since service start; because every shard shares the
-	// same start instant and every later sample is cut at the same poll
-	// time, the per-shard windows of one Metrics call always span the same
-	// interval — first call or not — and the aggregate is a sum of rates
-	// over one common window. A stalled shard decays to 0 on the next poll
-	// instead of coasting on its lifetime average forever.
+	// UpdatesPerSec is the shard loop's applied-update rate over the
+	// background sampler's last completed window: the delta of the
+	// cumulative update counter between the ring's two newest points.
+	// Until two samples exist it reports the lifetime average since the
+	// service-wide start instant. The rate is derived — Metrics mutates
+	// nothing — so any number of concurrent pollers see the same value,
+	// and because one ticker cuts every shard's window at the same
+	// instant, the aggregate is a sum of rates over one common window. A
+	// stalled shard decays to 0 once a windowed sample shows no progress.
 	UpdatesPerSec float64
 	// OldestSnapshotAge is the age of the stalest published snapshot among
 	// the shard's graphs (0 when the shard has none): how far behind the
@@ -169,19 +170,24 @@ type Metrics struct {
 	// true while any shard is degraded; WALTornTails and WALOrphanRecords
 	// describe what the last recovery scan found (a torn final record per
 	// crashed log is normal; orphans belong to dropped graphs).
-	WALEnabled       bool
-	WALRecovering    bool
-	WALAppends       uint64
-	WALAppendBytes   uint64
-	WALSyncs         uint64
-	WALReplayed      uint64
-	WALSkipped       uint64
-	WALCheckpoints   uint64
-	WALTornTails     int
-	WALOrphanRecords int
-	WALAppendHist    obs.HistSnapshot
-	WALSyncHist      obs.HistSnapshot
-	WALReplayHist    obs.HistSnapshot
+	WALEnabled    bool
+	WALRecovering bool
+	// Recovery progress of the last Open: graphs the recovery scan routed
+	// to shards and how many have flipped from degraded checkpoint
+	// snapshots to live replayed state. Equal once recovery completes.
+	WALRecoveryGraphsTotal int64
+	WALRecoveryGraphsDone  int64
+	WALAppends             uint64
+	WALAppendBytes         uint64
+	WALSyncs               uint64
+	WALReplayed            uint64
+	WALSkipped             uint64
+	WALCheckpoints         uint64
+	WALTornTails           int
+	WALOrphanRecords       int
+	WALAppendHist          obs.HistSnapshot
+	WALSyncHist            obs.HistSnapshot
+	WALReplayHist          obs.HistSnapshot
 }
 
 // Metrics samples every shard. It takes only read locks and never touches
@@ -201,28 +207,37 @@ func (s *Service) Metrics() Metrics {
 			}
 		}
 		sh.mu.RUnlock()
-		// Load the counter inside the sample lock so concurrent Metrics
-		// callers record monotone (time, count) pairs: a stale count stored
-		// after a newer one would make the next delta underflow.
-		sh.sampleMu.Lock()
 		updates := sh.updates.Load()
-		prevAt, prevCount := sh.sampledAt, sh.sampledCount
-		sh.sampledAt, sh.sampledCount = now, updates
-		sh.sampleMu.Unlock()
-		if prevAt.IsZero() {
-			// First sample: no previous call to delta against, so the window
-			// is the service's whole lifetime (one shared start instant, so
-			// every shard's first window is the same).
-			prevAt, prevCount = sh.started, 0
-		}
+		prev, last, n := sh.series.LastTwo()
 		rate := 0.0
-		if elapsed := now.Sub(prevAt).Seconds(); elapsed > 0 {
-			rate = float64(updates-prevCount) / elapsed
+		switch {
+		case n >= 2:
+			// The sampler's last completed window: cumulative counter delta
+			// between the ring's two newest points.
+			if elapsed := last.At.Sub(prev.At).Seconds(); elapsed > 0 {
+				rate = float64(last.Values[sUpdates]-prev.Values[sUpdates]) / elapsed
+			}
+		case n == 1:
+			if elapsed := last.At.Sub(sh.started).Seconds(); elapsed > 0 {
+				rate = float64(last.Values[sUpdates]) / elapsed
+			}
+		default:
+			// No sample yet (poll before the first tick): lifetime average
+			// over the shared start instant, identical across shards.
+			if elapsed := now.Sub(sh.started).Seconds(); elapsed > 0 {
+				rate = float64(updates) / elapsed
+			}
 		}
-		// Reset the queue high-water window to the current depth (never
-		// below it: the tasks queued right now have already been that deep).
+		// Queue high water: the in-progress window (raised by submitters
+		// since the last sampler tick) or the last completed one, whichever
+		// is deeper — and never below the current depth.
 		depth := len(sh.mailbox)
-		hwm := int(sh.queueHWM.Swap(int64(depth)))
+		hwm := int(sh.queueHWM.Load())
+		if n >= 1 {
+			if w := int(last.Values[sQueueHWM]); w > hwm {
+				hwm = w
+			}
+		}
 		if depth > hwm {
 			hwm = depth
 		}
@@ -321,5 +336,7 @@ func (s *Service) Metrics() Metrics {
 	}
 	out.WALTornTails = s.walTorn
 	out.WALOrphanRecords = s.walOrphans
+	out.WALRecoveryGraphsTotal = s.recGraphsTotal.Load()
+	out.WALRecoveryGraphsDone = s.recGraphsDone.Load()
 	return out
 }

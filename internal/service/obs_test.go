@@ -42,8 +42,9 @@ func drive(t *testing.T, s *Service, id GraphID, g *graph.Graph, rng *rand.Rand,
 
 // TestQueueHighWaterMark pins the submit-side bookkeeping: the high-water
 // mark records the deepest the mailbox has been within a sample window even
-// when the queue is empty again by the time Metrics looks, and each Metrics
-// call resets the window to the current depth.
+// when the queue is empty again by the time anyone looks, the background
+// sampler (not Metrics) owns the window reset, and Metrics is a pure read —
+// polling it never consumes the window.
 func TestQueueHighWaterMark(t *testing.T) {
 	// Mechanism first, on a bare shard with no consumer: fully deterministic.
 	sh := &shard{mailbox: make(chan task, 8)}
@@ -65,8 +66,8 @@ func TestQueueHighWaterMark(t *testing.T) {
 	if got := sh.queueHWM.Load(); got != 5 {
 		t.Fatalf("high-water after partial drain = %d, want 5 (peak retained)", got)
 	}
-	// The Metrics reset protocol: swap in the current depth and never report
-	// below it.
+	// The sampler's reset protocol: swap in the current depth and never
+	// report below it.
 	depth := len(sh.mailbox)
 	if hwm := int(sh.queueHWM.Swap(int64(depth))); hwm != 5 {
 		t.Fatalf("window read = %d, want 5", hwm)
@@ -75,9 +76,11 @@ func TestQueueHighWaterMark(t *testing.T) {
 		t.Fatalf("window reset to %d, want current depth %d", got, depth)
 	}
 
-	// End to end: burst a live service and check the sampled mark survives
-	// the drain, then collapses after a quiet window.
-	s := New(Config{Shards: 1})
+	// End to end, with the ticker parked so the test cuts windows itself:
+	// burst a live service and check the mark survives the drain, stays
+	// visible across repeated polls and one window cut, then collapses only
+	// after a full quiet window.
+	s := New(Config{Shards: 1, SampleInterval: time.Hour})
 	defer s.Close()
 	rng := rand.New(rand.NewSource(11))
 	g := graph.GnpConnected(128, 4.0/128, rng)
@@ -111,9 +114,23 @@ func TestQueueHighWaterMark(t *testing.T) {
 	if m.QueueHighWater <= 0 {
 		t.Fatalf("high-water mark %d after a 200-update burst, want > 0", m.QueueHighWater)
 	}
-	// Quiet window: the next sample starts from the post-drain depth.
-	if m2 := s.Metrics().Shards[0]; m2.QueueHighWater != 0 {
-		t.Fatalf("high-water mark %d in a quiet window, want 0", m2.QueueHighWater)
+	// A second poll sees the same window — Metrics must not consume it.
+	if m2 := s.Metrics().Shards[0]; m2.QueueHighWater != m.QueueHighWater {
+		t.Fatalf("second poll saw high-water %d, first saw %d (poll consumed the window)",
+			m2.QueueHighWater, m.QueueHighWater)
+	}
+	// One window cut: the peak moves into the last completed window and
+	// stays reported.
+	s.sampleOnce(time.Now())
+	if m3 := s.Metrics().Shards[0]; m3.QueueHighWater != m.QueueHighWater {
+		t.Fatalf("high-water %d after one window cut, want %d (last completed window)",
+			m3.QueueHighWater, m.QueueHighWater)
+	}
+	// A second, quiet window: nothing submitted since the cut, so the mark
+	// finally collapses to the drained depth.
+	s.sampleOnce(time.Now())
+	if m4 := s.Metrics().Shards[0]; m4.QueueHighWater != 0 {
+		t.Fatalf("high-water mark %d after a quiet window, want 0", m4.QueueHighWater)
 	}
 }
 

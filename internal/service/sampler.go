@@ -1,0 +1,155 @@
+package service
+
+import (
+	"time"
+)
+
+// Per-shard series-ring fields, in ring order. Cumulative counters
+// (updates, rejected, wal_bytes) are stored raw — consumers derive rates
+// from consecutive points; queue_depth is the instantaneous depth at the
+// tick, queue_hwm the deepest the mailbox got inside the window ending at
+// the tick, and the _p99_ns fields are windowed percentiles over the
+// samples recorded inside that window.
+const (
+	sUpdates = iota
+	sRejected
+	sQueueDepth
+	sQueueHWM
+	sApplyP99
+	sWALBytes
+	sWALSyncP99
+)
+
+var seriesFields = []string{
+	"updates", "rejected", "queue_depth", "queue_hwm",
+	"apply_p99_ns", "wal_bytes", "wal_sync_p99_ns",
+}
+
+// runSampler is the background sampler goroutine: one ticker for the whole
+// service, so every shard's window of a given tick is cut at the same
+// instant and cross-shard rates always span a common interval.
+func (s *Service) runSampler() {
+	defer close(s.samplerDone)
+	t := time.NewTicker(s.cfg.SampleInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.samplerStop:
+			return
+		case now := <-t.C:
+			s.sampleOnce(now)
+		}
+	}
+}
+
+// sampleOnce cuts one sample window on every shard. Exported to tests via
+// the service's sample lock so a test driving windows deterministically
+// (huge SampleInterval, manual timestamps) serializes with the ticker.
+func (s *Service) sampleOnce(now time.Time) {
+	s.sampleMu.Lock()
+	defer s.sampleMu.Unlock()
+	for _, sh := range s.shards {
+		sh.sample(now)
+	}
+}
+
+// sample appends one point to the shard's series ring and resets the
+// shard's window state (queue high-water, previous histogram snapshots).
+// Only the sampler calls this, under the service's sample lock.
+func (sh *shard) sample(now time.Time) {
+	applySnap := sh.applyHist.Snapshot()
+	applyP99 := applySnap.Delta(sh.prevApply).Quantile(0.99)
+	sh.prevApply = applySnap
+
+	var walBytes int64
+	var walSyncP99 int64
+	if w := sh.w; w != nil {
+		walBytes = int64(w.log.Stats().AppendBytes)
+		syncSnap := w.syncHist.Snapshot()
+		walSyncP99 = syncSnap.Delta(sh.prevWALSync).Quantile(0.99)
+		sh.prevWALSync = syncSnap
+	}
+
+	// Reset the queue high-water window to the current depth, never below
+	// it: the tasks queued right now have already been that deep.
+	depth := len(sh.mailbox)
+	hwm := sh.queueHWM.Swap(int64(depth))
+	if int64(depth) > hwm {
+		hwm = int64(depth)
+	}
+
+	sh.series.Add(now,
+		int64(sh.updates.Load()),
+		int64(sh.rejected.Load()),
+		int64(depth),
+		hwm,
+		applyP99,
+		walBytes,
+		walSyncP99,
+	)
+}
+
+// HistoryPoint is one sampler window of one shard: instantaneous and
+// windowed values at At, with the rate fields derived from the cumulative
+// counter deltas against the preceding point (the service start for the
+// oldest retained point). Durations are nanoseconds on the wire.
+type HistoryPoint struct {
+	At             time.Time     `json:"at"`
+	UpdatesPerSec  float64       `json:"updates_per_sec"`
+	RejectedPerSec float64       `json:"rejected_per_sec"`
+	QueueDepth     int64         `json:"queue_depth"`
+	QueueHighWater int64         `json:"queue_hwm"`
+	ApplyP99       time.Duration `json:"apply_p99_ns"`
+	WALBytesPerSec float64       `json:"wal_bytes_per_sec"`
+	WALSyncP99     time.Duration `json:"wal_sync_p99_ns"`
+}
+
+// ShardHistory is one shard's retained sampler windows, oldest first.
+type ShardHistory struct {
+	Shard  int            `json:"shard"`
+	Points []HistoryPoint `json:"points"`
+}
+
+// History is the /debug/service/history document: every shard's sampled
+// time-series over the retention window (Windows × Interval deep).
+type History struct {
+	Interval time.Duration  `json:"interval_ns"`
+	Windows  int            `json:"windows"`
+	Shards   []ShardHistory `json:"shards"`
+}
+
+// History returns every shard's sampled counter history. Reads the rings
+// only — it never blocks the sampler beyond a ring copy, and never touches
+// the update loops.
+func (s *Service) History() History {
+	out := History{
+		Interval: s.cfg.SampleInterval,
+		Windows:  s.cfg.SampleWindows,
+		Shards:   make([]ShardHistory, len(s.shards)),
+	}
+	for i, sh := range s.shards {
+		pts := sh.series.Snapshot()
+		hp := make([]HistoryPoint, len(pts))
+		prevAt := sh.started
+		var prevUpdates, prevRejected, prevWALBytes int64
+		for j, pt := range pts {
+			p := HistoryPoint{
+				At:             pt.At,
+				QueueDepth:     pt.Values[sQueueDepth],
+				QueueHighWater: pt.Values[sQueueHWM],
+				ApplyP99:       time.Duration(pt.Values[sApplyP99]),
+				WALSyncP99:     time.Duration(pt.Values[sWALSyncP99]),
+			}
+			if elapsed := pt.At.Sub(prevAt).Seconds(); elapsed > 0 {
+				p.UpdatesPerSec = float64(pt.Values[sUpdates]-prevUpdates) / elapsed
+				p.RejectedPerSec = float64(pt.Values[sRejected]-prevRejected) / elapsed
+				p.WALBytesPerSec = float64(pt.Values[sWALBytes]-prevWALBytes) / elapsed
+			}
+			prevAt = pt.At
+			prevUpdates, prevRejected, prevWALBytes = pt.Values[sUpdates], pt.Values[sRejected], pt.Values[sWALBytes]
+			hp[j] = p
+		}
+		out.Shards[i] = ShardHistory{Shard: sh.idx, Points: hp}
+	}
+	return out
+}

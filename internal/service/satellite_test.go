@@ -104,11 +104,14 @@ func TestDropRecomputesProcs(t *testing.T) {
 	}
 }
 
-// TestMetricsWindowedRate pins the UpdatesPerSec fix: the rate is sampled
-// against the previous Metrics call, so a shard that stops applying updates
-// reports 0 on the next poll instead of coasting on its lifetime average.
+// TestMetricsWindowedRate pins the UpdatesPerSec semantics: the rate is
+// derived from the background sampler's ring (the ticker is parked at an
+// hour here; the test cuts windows itself), so a shard that stops applying
+// updates reports 0 once a windowed sample shows no progress, instead of
+// coasting on its lifetime average — and polling Metrics never advances
+// the window.
 func TestMetricsWindowedRate(t *testing.T) {
-	svc := New(Config{Shards: 1})
+	svc := New(Config{Shards: 1, SampleInterval: time.Hour})
 	defer svc.Close()
 	if _, err := svc.CreateGraph("g", graph.Path(8)); err != nil {
 		t.Fatal(err)
@@ -125,18 +128,91 @@ func TestMetricsWindowedRate(t *testing.T) {
 	}
 	apply(core.Update{Kind: core.InsertEdge, U: 0, V: 7})
 	apply(core.Update{Kind: core.DeleteEdge, U: 0, V: 7})
+	// No sample yet: lifetime average since start.
 	if got := svc.Metrics().Shards[0].UpdatesPerSec; got <= 0 {
-		t.Fatalf("first sample (lifetime average) = %v, want > 0", got)
+		t.Fatalf("pre-sample poll (lifetime average) = %v, want > 0", got)
 	}
-	// Stalled shard: no updates since the previous sample.
-	time.Sleep(5 * time.Millisecond)
+	// One sample: still the lifetime average, now frozen at the cut — and
+	// repeated polls must agree exactly (a pure read).
+	svc.sampleOnce(time.Now())
+	first := svc.Metrics().Shards[0].UpdatesPerSec
+	if first <= 0 {
+		t.Fatalf("one-sample rate = %v, want > 0", first)
+	}
+	if again := svc.Metrics().Shards[0].UpdatesPerSec; again != first {
+		t.Fatalf("re-poll changed the rate: %v then %v", first, again)
+	}
+	// Stalled window: no updates between two cuts.
+	svc.sampleOnce(time.Now())
 	if got := svc.Metrics().Shards[0].UpdatesPerSec; got != 0 {
 		t.Fatalf("stalled-window sample = %v, want 0", got)
 	}
-	// Rate recovers once updates flow again.
+	// Rate recovers once updates flow through a window again.
 	apply(core.Update{Kind: core.InsertEdge, U: 0, V: 7})
+	svc.sampleOnce(time.Now())
 	if got := svc.Metrics().Shards[0].UpdatesPerSec; got <= 0 {
 		t.Fatalf("active-window sample = %v, want > 0", got)
+	}
+}
+
+// TestMetricsConcurrentPollers pins the multi-poller fix: two goroutines
+// polling Metrics concurrently over a fixed sampler window must observe
+// exactly the same rate and queue high-water on every poll — under the old
+// read-once windows, each poll consumed the window and concurrent pollers
+// clobbered each other's baselines.
+func TestMetricsConcurrentPollers(t *testing.T) {
+	svc := New(Config{Shards: 1, SampleInterval: time.Hour})
+	defer svc.Close()
+	if _, err := svc.CreateGraph("g", graph.Path(8)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		kind := core.InsertEdge
+		if i%2 == 1 {
+			kind = core.DeleteEdge
+		}
+		fut, err := svc.Apply("g", core.Update{Kind: kind, U: 0, V: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := fut.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fix the window: two cuts one second apart (manual timestamps make the
+	// expected rate exact — 6 updates in the first window, 0 since).
+	t0 := time.Now()
+	svc.sampleOnce(t0)
+	svc.sampleOnce(t0.Add(time.Second))
+
+	const pollers, polls = 2, 50
+	rates := make([][]float64, pollers)
+	hwms := make([][]int, pollers)
+	var wg sync.WaitGroup
+	for p := 0; p < pollers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < polls; i++ {
+				m := svc.Metrics().Shards[0]
+				rates[p] = append(rates[p], m.UpdatesPerSec)
+				hwms[p] = append(hwms[p], m.QueueHighWater)
+			}
+		}(p)
+	}
+	wg.Wait()
+	for p := 0; p < pollers; p++ {
+		for i := 0; i < polls; i++ {
+			if rates[p][i] != rates[0][0] {
+				t.Fatalf("poller %d poll %d saw rate %v, poller 0 saw %v", p, i, rates[p][i], rates[0][0])
+			}
+			if hwms[p][i] != hwms[0][0] {
+				t.Fatalf("poller %d poll %d saw high-water %d, poller 0 saw %d", p, i, hwms[p][i], hwms[0][0])
+			}
+		}
+	}
+	if rates[0][0] != 0 {
+		t.Fatalf("rate over the quiet second window = %v, want 0", rates[0][0])
 	}
 }
 

@@ -54,6 +54,21 @@ type Config struct {
 	// for inspection through SlowTraces() and the debug endpoint. Default
 	// obs.DefaultSlowRingSize.
 	SlowTraces int
+	// SampleInterval is the background sampler's tick period: every tick it
+	// snapshots each shard's cumulative counters into that shard's
+	// time-series ring (served at /debug/service/history) and cuts the rate
+	// and queue high-water windows that Metrics reports. Default 1s.
+	SampleInterval time.Duration
+	// SampleWindows is the number of sampler points retained per shard
+	// (ring capacity): history depth = SampleWindows × SampleInterval.
+	// Default 256.
+	SampleWindows int
+	// HotTenants is the capacity of each shard's Space-Saving hottest-graphs
+	// sketch — the maximum tenants tracked per shard, independent of how
+	// many graphs the shard has ever served. Any graph whose share of the
+	// shard's cumulative apply cost exceeds 1/HotTenants is guaranteed to be
+	// tracked. Default 128.
+	HotTenants int
 	// WAL enables durability: every applied update is appended to its
 	// shard's write-ahead log (and fsynced per the configured policy) before
 	// its Future resolves, checkpoints bound replay work, and Open recovers
@@ -81,6 +96,15 @@ func (c Config) withDefaults() Config {
 	if c.SlowTraces <= 0 {
 		c.SlowTraces = obs.DefaultSlowRingSize
 	}
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = time.Second
+	}
+	if c.SampleWindows <= 0 {
+		c.SampleWindows = 256
+	}
+	if c.HotTenants <= 0 {
+		c.HotTenants = 128
+	}
 	return c
 }
 
@@ -92,6 +116,21 @@ type Service struct {
 	reg    *obs.Registry
 	closed atomic.Bool
 	wg     sync.WaitGroup
+
+	// Sampler state: the background goroutine ticks every SampleInterval,
+	// cutting each shard's rate/high-water window and appending one point
+	// per shard to its series ring. sampleMu serializes ticks (the ticker
+	// goroutine and tests driving sampleOnce directly); samplerStop ends
+	// the goroutine, samplerDone confirms its exit.
+	sampleMu    sync.Mutex
+	samplerStop chan struct{}
+	samplerDone chan struct{}
+
+	// Recovery progress, readable while shards replay: graphs routed by the
+	// last recovery scan and how many have flipped from degraded checkpoint
+	// snapshots to live replayed state.
+	recGraphsTotal atomic.Int64
+	recGraphsDone  atomic.Int64
 
 	// Durability state (see wal.go; only meaningful when cfg.WAL is set).
 	// recovered closes once every shard has left degraded-reads mode;
@@ -127,24 +166,37 @@ func New(cfg Config) *Service {
 func Open(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:       cfg,
-		shards:    make([]*shard, cfg.Shards),
-		reg:       obs.NewRegistry(),
-		recovered: make(chan struct{}),
+		cfg:         cfg,
+		shards:      make([]*shard, cfg.Shards),
+		reg:         obs.NewRegistry(),
+		recovered:   make(chan struct{}),
+		samplerStop: make(chan struct{}),
+		samplerDone: make(chan struct{}),
 	}
 	// All shards share one start instant so every first-sample rate window
 	// in Metrics spans the same interval (see Metrics).
 	started := time.Now()
 	for i := range s.shards {
-		s.shards[i] = &shard{
+		sh := &shard{
 			idx:     i,
 			mach:    pram.NewMachineWithWorkers(1, cfg.Workers),
 			mailbox: make(chan task, cfg.MailboxDepth),
 			graphs:  make(map[GraphID]*graphState),
 			qcache:  snapquery.NewCache(cfg.QueryCache),
 			slow:    obs.NewSlowRing(cfg.SlowTraces),
+			hot:     obs.NewSpaceSaving(cfg.HotTenants),
+			series:  obs.NewSeriesRing(seriesFields, cfg.SampleWindows),
 			started: started,
 		}
+		// Charge index builds/patches performed by reader goroutines back to
+		// the graph that owns the index. A dropped graph's in-flight build
+		// simply finds no state and goes unattributed.
+		sh.qcache.SetAttribution(func(graphName string, patched bool, d time.Duration) {
+			if gs := sh.lookup(GraphID(graphName)); gs != nil {
+				gs.meter.RecordIndex(patched, d)
+			}
+		})
+		s.shards[i] = sh
 	}
 	if cfg.WAL != nil {
 		if err := s.openWAL(); err != nil {
@@ -164,6 +216,18 @@ func Open(cfg Config) (*Service, error) {
 		s.wg.Add(1)
 		go sh.run(&s.wg, cfg.Headroom)
 	}
+	if cfg.WAL != nil {
+		s.reg.Gauge("wal.recovery.graphs_total", s.recGraphsTotal.Load)
+		s.reg.Gauge("wal.recovery.graphs_done", s.recGraphsDone.Load)
+		s.reg.Gauge("wal.recovery.replayed", func() int64 {
+			var n int64
+			for _, sh := range s.shards {
+				n += int64(sh.w.replayed.Load())
+			}
+			return n
+		})
+	}
+	go s.runSampler()
 	return s, nil
 }
 
@@ -437,6 +501,10 @@ func (s *Service) CloseContext(ctx context.Context) error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return ErrClosed
 	}
+	// Stop the sampler before the shards: its goroutine must not outlive
+	// the service, and a final mid-shutdown window would only show drain.
+	close(s.samplerStop)
+	<-s.samplerDone
 	for _, sh := range s.shards {
 		sh.submitMu.Lock()
 		sh.closed = true

@@ -53,6 +53,12 @@ type graphState struct {
 	dd   *core.DynamicDFS
 	snap atomic.Pointer[Snapshot]
 
+	// meter is the graph's cumulative cost attribution (updates, stage
+	// nanos, WAL bytes, index work). Created with the graphState and never
+	// nil; the shard loop writes the update-path fields, reader goroutines
+	// the index fields, and Metrics/TenantMetrics sample it lock-free.
+	meter *obs.TenantMeter
+
 	// Pending tree delta accumulated since the last publish (shard loop
 	// only). A batch round applies several updates before publishing once,
 	// so the per-update core deltas are unioned here; any update without a
@@ -118,17 +124,24 @@ type shard struct {
 	rejected atomic.Uint64 // updates rejected by the maintainer
 	started  time.Time
 
-	// sampleMu guards the previous Metrics() sample that the windowed
-	// UpdatesPerSec rate is computed against. All Metrics callers share one
-	// window per shard.
-	sampleMu     sync.Mutex
-	sampledAt    time.Time // zero until the first Metrics() call
-	sampledCount uint64
-
-	// queueHWM is the deepest the mailbox has been since the last Metrics
-	// sample (submitters CAS it up after every send), so queue spikes
-	// between polls are visible; Metrics reads and resets it per window.
+	// queueHWM is the deepest the mailbox has been since the last sampler
+	// tick (submitters CAS it up after every send), so queue spikes between
+	// ticks are visible; only the sampler reads and resets it, per window,
+	// so Metrics callers never consume each other's windows.
 	queueHWM atomic.Int64
+
+	// hot ranks the shard's graphs by cumulative apply cost (nanoseconds)
+	// with bounded memory; the shard loop is the only Observe caller.
+	hot *obs.SpaceSaving
+
+	// series is the shard's sampled counter history (see seriesFields): the
+	// background sampler appends one point per tick, Metrics and the
+	// history endpoint read it. prevApply/prevWALSync are the sampler's
+	// previous cumulative histogram snapshots for windowed percentiles,
+	// touched only under the service's sample lock.
+	series      *obs.SeriesRing
+	prevApply   obs.HistSnapshot
+	prevWALSync obs.HistSnapshot
 
 	// Latency distributions of the shard's write path (lock-free; recorded
 	// by the shard loop, sampled by Metrics and the debug endpoint):
@@ -163,7 +176,7 @@ func (sh *shard) submit(t task) error {
 	t.enqueued = time.Now()
 	sh.mailbox <- t
 	// Raise the sample window's queue high-water mark: a burst that drains
-	// before the next Metrics poll still leaves its footprint here.
+	// before the next sampler tick still leaves its footprint here.
 	if d := int64(len(sh.mailbox)); d > sh.queueHWM.Load() {
 		for {
 			cur := sh.queueHWM.Load()
@@ -216,7 +229,7 @@ func (sh *shard) handle(t task, headroom int) {
 		if p := 2*t.g.NumEdges() + t.g.NumVertexSlots() + 1; p > sh.mach.Procs() {
 			sh.mach.SetProcs(p)
 		}
-		gs := &graphState{dd: core.New(t.g, core.Options{
+		gs := &graphState{meter: &obs.TenantMeter{}, dd: core.New(t.g, core.Options{
 			RebuildD: true,
 			Headroom: headroom,
 			Machine:  sh.mach,
@@ -259,6 +272,7 @@ func (sh *shard) handle(t task, headroom int) {
 		delete(sh.graphs, t.id)
 		sh.mu.Unlock()
 		sh.qcache.DropGraph(string(t.id))
+		sh.hot.Remove(string(t.id))
 		// taskCreate grew the machine's model processor budget to the
 		// per-instance maximum; recompute it over the survivors so model
 		// depth charges stop being divided by a departed tenant's m. The
@@ -469,6 +483,13 @@ func (sh *shard) applyTraced(tr *obs.Trace, id GraphID, gs *graphState, u core.U
 	}
 	sh.waitHist.Record(tr.Wait)
 	sh.applyHist.Record(apply)
+	// Charge the update to its tenant (rejected updates included — they did
+	// work) and to the shard's hottest-graphs sketch, weighted by apply cost
+	// so "hot" means expensive, not merely chatty.
+	gs.meter.RecordUpdate(apply, tr.Engine, tr.DMaint, err != nil)
+	if apply > 0 {
+		sh.hot.Observe(string(id), uint64(apply))
+	}
 	return v, err
 }
 

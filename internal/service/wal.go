@@ -75,9 +75,10 @@ type shardWAL struct {
 	// Recovery backlog, prepared by Open and consumed by the shard
 	// goroutine's prologue: per-graph Seq-sorted log records past each
 	// graph's checkpoint, and the graph order to replay them in.
-	backlog map[GraphID][]wal.Record
-	order   []GraphID
-	done    func(ok bool) // recovery-completion callback into the Service
+	backlog   map[GraphID][]wal.Record
+	order     []GraphID
+	done      func(ok bool) // recovery-completion callback into the Service
+	graphDone func()        // per-graph recovery-progress callback (may be nil in tests)
 
 	// recovering is true from Open until the prologue flips the shard from
 	// degraded checkpoint snapshots to live replayed state.
@@ -138,7 +139,13 @@ func (s *Service) openWAL() error {
 		return fmt.Errorf("service: recovery: %w", err)
 	}
 	for _, sh := range s.shards {
-		sh.w = &shardWAL{cfg: wc, backlog: map[GraphID][]wal.Record{}, done: s.recoveryDone, barrier: s.recoveredClean}
+		sh.w = &shardWAL{
+			cfg:       wc,
+			backlog:   map[GraphID][]wal.Record{},
+			done:      s.recoveryDone,
+			graphDone: func() { s.recGraphsDone.Add(1) },
+			barrier:   s.recoveredClean,
+		}
 		sh.w.recovering.Store(true)
 	}
 
@@ -198,7 +205,7 @@ func (s *Service) openWAL() error {
 		recs := perGraph[id]
 		delete(perGraph, id)
 		sort.SliceStable(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
-		gs := &graphState{}
+		gs := &graphState{meter: &obs.TenantMeter{}}
 		gs.snap.Store(&Snapshot{
 			ID:          gid,
 			Version:     c.Seq,
@@ -211,6 +218,7 @@ func (s *Service) openWAL() error {
 		sh.w.backlog[gid] = recs
 		sh.w.order = append(sh.w.order, gid)
 	}
+	s.recGraphsTotal.Store(int64(len(ids)))
 	// Records without a checkpoint belong to dropped graphs (a crash can
 	// land between checkpoint deletion and log rotation): count and skip.
 	for _, recs := range perGraph {
@@ -338,9 +346,13 @@ func (sh *shard) walGate() error {
 // count after applying it, making each graph's sequence contiguous from 1.
 func (sh *shard) walAppend(id GraphID, gs *graphState, u core.Update) error {
 	rec := wal.Record{Graph: string(id), Seq: uint64(gs.dd.Updates()), Update: u}
+	// The shard loop is the log's only appender, so the Stats delta around
+	// this append is exactly this record's framed size — attribute it.
+	before := sh.w.log.Stats().AppendBytes
 	if err := sh.w.log.Append(&rec); err != nil {
 		return sh.w.fail(err)
 	}
+	gs.meter.WALBytes.Add(sh.w.log.Stats().AppendBytes - before)
 	return nil
 }
 
@@ -457,6 +469,9 @@ func (sh *shard) recoverReplay() {
 		}
 		if !ok {
 			break
+		}
+		if w.graphDone != nil {
+			w.graphDone()
 		}
 	}
 	if ok && w.hadInput {

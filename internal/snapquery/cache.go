@@ -51,6 +51,12 @@ type Cache struct {
 	buildHist   obs.Histogram
 	patchHist   obs.Histogram
 	resolveHist obs.Histogram
+
+	// attribute, when set, receives each index derivation tagged with its
+	// graph so the owner can charge the work to a tenant (patched reports
+	// whether a delta patch succeeded; fallbacks count as builds). Set
+	// before the cache sees traffic; called from reader goroutines.
+	attribute func(graphName string, patched bool, d time.Duration)
 }
 
 // NewCache creates a cache retaining up to capacity versions
@@ -69,7 +75,15 @@ func NewCache(capacity int) *Cache {
 // Capacity returns the maximum number of retained versions.
 func (c *Cache) Capacity() int { return c.capacity }
 
-func (c *Cache) observe(outcome buildOutcome, d time.Duration) {
+// SetAttribution installs a per-graph cost callback invoked for every index
+// build or patch the cache's handles perform. Must be set before the cache
+// sees traffic (handles capture c.observe at creation, and the field is
+// read without a lock).
+func (c *Cache) SetAttribution(fn func(graphName string, patched bool, d time.Duration)) {
+	c.attribute = fn
+}
+
+func (c *Cache) observe(graphName string, outcome buildOutcome, d time.Duration) {
 	switch outcome {
 	case outcomePatch:
 		c.patches.Add(1)
@@ -84,6 +98,9 @@ func (c *Cache) observe(outcome buildOutcome, d time.Duration) {
 		c.builds.Add(1)
 		c.buildNanos.Add(int64(d))
 		c.buildHist.Record(d)
+	}
+	if c.attribute != nil {
+		c.attribute(graphName, outcome == outcomePatch, d)
 	}
 }
 

@@ -97,7 +97,7 @@ func TestDifferentialOracleRandomMixed(t *testing.T) {
 			broken++
 			nh = New(dd.Frozen(), dd.Tree(), dd.PseudoRoot())
 		}
-		nh.observe = func(o buildOutcome, _ time.Duration) {
+		nh.observe = func(_ string, o buildOutcome, _ time.Duration) {
 			switch o {
 			case outcomePatch:
 				patched++
@@ -151,7 +151,7 @@ func TestDifferentialChurnFallback(t *testing.T) {
 	}
 	nh := NewDerived(h, dd.Frozen(), dd.Tree(), dd.PseudoRoot(), coreDelta(d))
 	var fallbacks int
-	nh.observe = func(o buildOutcome, _ time.Duration) {
+	nh.observe = func(_ string, o buildOutcome, _ time.Duration) {
 		if o == outcomeFallback {
 			fallbacks++
 		}

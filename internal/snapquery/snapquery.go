@@ -48,7 +48,7 @@ type Handle struct {
 	g       graph.Adjacency
 	t       *tree.Tree
 	pseudo  int
-	observe func(buildOutcome, time.Duration) // cache metrics observer; nil standalone
+	observe func(string, buildOutcome, time.Duration) // cache metrics observer (graph, outcome, cost); nil standalone
 
 	// Differential-build state: while parent is set, each tree index first
 	// tries to patch the parent handle's arrays using delta (see patch.go).
@@ -171,7 +171,7 @@ func derive[T any](h *Handle, slot *lazy[T], fresh func() *T, patch func(par *Ha
 		v = fresh()
 	}
 	if h.observe != nil {
-		h.observe(outcome, time.Since(start))
+		h.observe(h.key.Graph, outcome, time.Since(start))
 	}
 	slot.p.Store(v)
 	h.slotBuilt()
@@ -502,7 +502,7 @@ func (h *Handle) bicon() *biconIndex {
 	an := bicon.Analyze(h.g, h.t, h.pseudo, nil)
 	v := &biconIndex{an: an, bridges: an.Bridges(), artic: an.ArticulationPoints()}
 	if h.observe != nil {
-		h.observe(outcomeBuild, time.Since(start))
+		h.observe(h.key.Graph, outcomeBuild, time.Since(start))
 	}
 	h.biconIx.p.Store(v)
 	return v
