@@ -61,6 +61,8 @@ func main() {
 		hotK     = flag.Int("hot", 8, "rows in the final hottest-graphs table (0 disables)")
 		duration = flag.Duration("duration", 5*time.Second, "load duration")
 		seed     = flag.Int64("seed", 1, "workload seed")
+		skew     = flag.Float64("skew", 0, "Zipf exponent for writer graph selection so a hot tenant emerges (>1 required; 0 = uniform)")
+		migrate  = flag.Duration("migrate", 0, "force a live migration of a rotating graph to a random shard every interval (0 = off)")
 		dbgAddr  = flag.String("debugaddr", "", "serve the live debug endpoint (JSON metrics, slow traces, pprof) on this address for the whole run, e.g. localhost:6060")
 		walDir   = flag.String("wal", "", "enable durability: per-shard write-ahead log + checkpoints in this directory")
 		walSync  = flag.String("walfsync", "batch", "WAL fsync policy: batch (group commit), always, interval")
@@ -69,6 +71,10 @@ func main() {
 		recover_ = flag.Bool("recoververify", false, "recover from -wal, verify the replayed state against -acklog, and exit")
 	)
 	flag.Parse()
+	if *skew != 0 && *skew <= 1 {
+		fmt.Fprintf(os.Stderr, "-skew %v: the Zipf exponent must be > 1 (0 disables)\n", *skew)
+		os.Exit(2)
+	}
 
 	cfg := dfs.ServiceConfig{Shards: *shards, QueryCache: *qcache, SampleInterval: *sample}
 	if *walDir != "" {
@@ -127,6 +133,7 @@ func main() {
 
 	var (
 		stop                      atomic.Bool
+		stopCh                    = make(chan struct{})
 		applied, conflicts        atomic.Int64
 		reads, verifies, readErrs atomic.Int64
 		idxQueries                atomic.Int64
@@ -182,10 +189,22 @@ func main() {
 			if len(mine) == 0 {
 				return
 			}
+			// Skewed load: rank 0 of each writer's slice becomes its hot
+			// tenant, drawing a Zipf-sized share of the writer's updates, so
+			// the hottest-graphs ranking and the rebalancer have a real
+			// imbalance to see instead of uniform noise.
+			var zipf *rand.Zipf
+			if *skew > 1 && len(mine) > 1 {
+				zipf = rand.NewZipf(rng, *skew, 1, uint64(len(mine)-1))
+			}
 			for !stop.Load() {
 				items := make([]dfs.BatchItem, 0, *batch)
 				for len(items) < *batch {
-					id := mine[rng.Intn(len(mine))]
+					pick := rng.Intn(len(mine))
+					if zipf != nil {
+						pick = int(zipf.Uint64())
+					}
+					id := mine[pick]
 					mirror := mirrors[id]
 					var u dfs.Update
 					if e, ok := dfs.RandomNonEdge(mirror, rng); ok && rng.Intn(2) == 0 {
@@ -299,19 +318,50 @@ func main() {
 		}(r)
 	}
 
+	// Forced migrations: rotate through the graphs, shipping one to a random
+	// shard every -migrate interval, so live handoffs (and, under the crash
+	// harness, kills landing inside the migration window) happen without
+	// waiting for the rebalancer's hysteresis. Migrating to the graph's
+	// current shard is a no-op; errors after shutdown began are expected.
+	var wgM sync.WaitGroup
+	if *migrate > 0 {
+		wgM.Add(1)
+		go func() {
+			defer wgM.Done()
+			mrng := rand.New(rand.NewSource(*seed + 30_000))
+			tick := time.NewTicker(*migrate)
+			defer tick.Stop()
+			for i := 0; ; i++ {
+				select {
+				case <-stopCh:
+					return
+				case <-tick.C:
+				}
+				id := ids[i%len(ids)]
+				if err := svc.MigrateGraph(id, mrng.Intn(*shards)); err != nil && !stop.Load() {
+					fmt.Fprintf(os.Stderr, "migrate %s: %v\n", id, err)
+				}
+			}
+		}()
+	}
+
 	deadline := time.After(*duration)
 	select {
 	case err := <-fatal:
 		fmt.Fprintf(os.Stderr, "FATAL: %v\n", err)
 		stop.Store(true)
+		close(stopCh)
 		wgW.Wait()
 		wgR.Wait()
+		wgM.Wait()
 		os.Exit(1)
 	case <-deadline:
 	}
 	stop.Store(true)
+	close(stopCh)
 	wgW.Wait()
 	wgR.Wait()
+	wgM.Wait()
 	if err := svc.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "close: %v\n", err)
 	}
@@ -393,6 +443,12 @@ func main() {
 		conflicts.Load(),
 		reads.Load(), float64(reads.Load())/secs,
 		verifies.Load(), readErrs.Load())
+	// Live handoffs observed this run: forced (-migrate), rebalancer-driven,
+	// or none — with the write pause each one imposed on its tenant.
+	if m.Migrations+m.MigrationFailures > 0 || *migrate > 0 {
+		fmt.Printf("migrations %d completed, %d failed; %d graphs routed off their hash shard; pause %s\n",
+			m.Migrations, m.MigrationFailures, m.RoutedGraphs, pq(m.MigrationPauseHist))
+	}
 	if lookups := m.IndexCacheHits + m.IndexCacheMisses; lookups > 0 {
 		fmt.Printf("index queries %d (%.0f/sec); cache: %.1f%% hit over %d lookups, %d evictions, %d index builds in %v\n",
 			idxQueries.Load(), float64(idxQueries.Load())/secs,
@@ -609,9 +665,22 @@ func recoverVerify(svc *dfs.Service, ackDir string, graphs, n int, deg float64, 
 		beyondAck += v - totalAcked
 	}
 	m := svc.Metrics()
-	fmt.Printf("RECOVERY OK: %d/%d graphs verified, %d updates live (%d beyond last ack), "+
+	// Placement: every surviving graph must live on exactly one shard. A
+	// kill inside a migration window that left a graph duplicated (source
+	// retirement lost) or dropped (route flipped to a copy that never
+	// recovered) shows up as a shard-ownership sum that disagrees with the
+	// count of graphs the routing table can reach.
+	owned := 0
+	for _, sm := range m.Shards {
+		owned += sm.Graphs
+	}
+	if owned != verified {
+		return fail("shards own %d graphs in total, but %d graphs are reachable — a crash left a graph on zero or two shards",
+			owned, verified)
+	}
+	fmt.Printf("RECOVERY OK: %d/%d graphs verified (%d routed off their hash shard), %d updates live (%d beyond last ack), "+
 		"%d WAL records replayed, %d skipped, %d torn tails, %d orphans, %d torn acklog lines\n",
-		verified, graphs, replayed, beyondAck,
+		verified, graphs, m.RoutedGraphs, replayed, beyondAck,
 		m.WALReplayed, m.WALSkipped, m.WALTornTails, m.WALOrphanRecords, torn)
 	return 0
 }

@@ -18,7 +18,10 @@ import (
 // (version bounds, edge-set equality against the intent-prefix replay,
 // DFS verification, CheckSynced). A second load/kill/verify epoch on yet
 // another shard count then drives the resharding crash chain, where the
-// inherited logs still hold rerouted tails until the recovery barrier.
+// inherited logs still hold rerouted tails until the recovery barrier; that
+// epoch also forces live migrations every few milliseconds so the kill lands
+// inside the migration window and recovery must land each graph on exactly
+// one shard — before or after its route flip, never both.
 func TestCrashRecoveryKill9(t *testing.T) {
 	if testing.Short() {
 		t.Skip("process-level crash test; skipped with -short")
@@ -94,10 +97,14 @@ func TestCrashRecoveryKill9(t *testing.T) {
 		t.Fatalf("second recovery pass failed: %v\n%s", err, out)
 	}
 
-	// Epoch 2: reload on the changed shard count and kill again. The
-	// inherited epoch-1 logs may still hold rerouted graphs' tails (their
-	// truncation is deferred to the recovery barrier), so this chain proves
-	// a second crash in that window loses nothing acked in either epoch.
+	// Epoch 2: reload on the changed shard count — now with forced live
+	// migrations every few milliseconds, so the SIGKILL lands inside or next
+	// to a migration window (frozen graph, installed-but-unrouted copy, or
+	// freshly flipped route) — and kill again. The inherited epoch-1 logs may
+	// still hold rerouted graphs' tails (their truncation is deferred to the
+	// recovery barrier), so this chain proves a second crash in that window
+	// loses nothing acked in either epoch, and the verifier's placement check
+	// proves no mid-migration kill leaves a graph on zero or two shards.
 	// WAL files can already be non-empty here, so the traffic signal is
 	// growth over the epoch's starting size.
 	walSize := func() int64 {
@@ -112,7 +119,7 @@ func TestCrashRecoveryKill9(t *testing.T) {
 	}
 	base := walSize()
 	load2 := exec.Command(bin, append(append([]string{}, workload...), "-shards", "3",
-		"-duration", "60s", "-wal", walDir, "-acklog", ackDir)...)
+		"-duration", "60s", "-wal", walDir, "-acklog", ackDir, "-migrate", "5ms")...)
 	load2.Stdout, load2.Stderr = os.Stderr, os.Stderr
 	if err := load2.Start(); err != nil {
 		t.Fatal(err)

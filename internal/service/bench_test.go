@@ -36,3 +36,80 @@ func BenchmarkPublish(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkRoutingLookup prices the routing-table read path (shardFor):
+// every read and every submit resolves its shard through it, so it must
+// stay allocation-free and flat whether the table is empty (pure FNV hash,
+// the pre-refactor behavior), hit (the graph was migrated), or missed (the
+// table is populated but this ID falls through to the hash default). Run by
+// the CI bench-smoke step with -benchtime=1x.
+func BenchmarkRoutingLookup(b *testing.B) {
+	s := New(Config{Shards: 8})
+	defer s.Close()
+	routed := make([]GraphID, 64)
+	for i := range routed {
+		routed[i] = GraphID(fmt.Sprintf("routed-%d", i))
+	}
+	miss := GraphID("unrouted-tenant")
+	b.Run("empty-table", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if s.shardFor(routed[i%len(routed)]) == nil {
+				b.Fatal("nil shard")
+			}
+		}
+	})
+	// Populate the table directly (routing entries only; no graphs needed).
+	s.routeMu.Lock()
+	for i, id := range routed {
+		if sh := s.shards[(shardIndex(id, 8)+1+i%7)%8]; sh != s.defaultShard(id) {
+			s.setRouteLocked(id, sh)
+		}
+	}
+	s.routeMu.Unlock()
+	b.Run("table-hit", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if s.shardFor(routed[i%len(routed)]) == nil {
+				b.Fatal("nil shard")
+			}
+		}
+	})
+	b.Run("table-miss", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if s.shardFor(miss) == nil {
+				b.Fatal("nil shard")
+			}
+		}
+	})
+}
+
+// BenchmarkMigration measures one live handoff end to end — freeze,
+// install, route flip, retire — by ping-ponging one graph between two
+// shards (no WAL, so the cost is the protocol itself, not checkpoint I/O).
+// ns/op is the full coordinator round trip, an upper bound on the write
+// pause a tenant sees per handoff. Run by the CI bench-smoke step with
+// -benchtime=1x.
+func BenchmarkMigration(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := New(Config{Shards: 2})
+			defer s.Close()
+			rng := rand.New(rand.NewSource(int64(n)))
+			g := graph.GnpConnected(n, 4.0/float64(n), rng)
+			id := GraphID("ping")
+			if _, err := s.CreateGraph(id, g); err != nil {
+				b.Fatal(err)
+			}
+			home := shardIndex(id, 2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.MigrateGraph(id, (home+1+i)%2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

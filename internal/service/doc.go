@@ -7,12 +7,73 @@
 // A Service runs a fixed set of shards. Each shard owns one goroutine (the
 // update loop), one pram.Machine (worker pool + merged PRAM accounting for
 // everything that runs on the shard), and the maintainers of every graph
-// assigned to it. A graph ID is hashed (FNV-1a) to its shard at creation
-// and never moves, so all updates for one graph are serialized through one
-// mailbox — a buffered channel of tasks — without any per-graph locking.
-// Apply enqueues one update and returns a Future; ApplyBatch groups a
-// cross-graph batch by shard and enqueues one task per shard, so a round of
-// k updates costs each shard one mailbox receive instead of k.
+// assigned to it. A graph ID is hashed (FNV-1a) to pick its shard at
+// creation, and at any moment exactly one shard owns the graph, so all
+// updates for one graph are serialized through one mailbox — a buffered
+// channel of tasks — without any per-graph locking. Ownership is not fixed
+// for life, though: an explicit routing table can move a graph to any shard
+// while it serves (see Routing and migration). Apply enqueues one update
+// and returns a Future; ApplyBatch groups a cross-graph batch by shard and
+// enqueues one task per shard, so a round of k updates costs each shard one
+// mailbox receive instead of k.
+//
+// # Routing and migration
+//
+// Shard resolution is a two-level lookup: an explicit routing table — a
+// copy-on-write map[GraphID]*shard behind an atomic pointer, holding only
+// the exceptions — consulted first, the FNV-1a hash as the default for
+// every ID not in it. The read path (every submit and every read resolves
+// through shardFor) is one atomic load plus one map probe: lock-free and
+// allocation-free, pinned by TestRoutingLookupNoAllocs and
+// BenchmarkRoutingLookup. Writers copy the map under a mutex and publish
+// the replacement with a single store.
+//
+// MigrateGraph moves a graph between shards live, in four steps, each a
+// task on the owning shard's own loop:
+//
+//  1. Freeze (source loop): checkpoint the graph at its current sequence —
+//     mandatory when a WAL is configured, because after the handoff the
+//     source's log rotations stop re-checkpointing this graph — then mark
+//     it migrating, so tasks arriving behind the freeze park in a deferred
+//     queue instead of applying. The maintainer state (persistent graph,
+//     tree, sequence, tenant meter) is packaged zero-copy.
+//  2. Install (destination loop): rebuild the maintainer from the package
+//     and publish its snapshot. The copy is invisible — routing still
+//     points at the source, which keeps answering reads.
+//  3. Commit: append a RouteRecord to the durable route log (routes.wal,
+//     fsynced) and flip the routing table. The fsynced record is the
+//     migration's commit point: recovery after a crash strictly before it
+//     places the graph on the source (checkpoint + logged tail), strictly
+//     after it on the destination (the logged route reroutes the global
+//     recovery scan) — on exactly one shard either way, with no acked
+//     update lost or doubled. TestCrashRecoveryKill9's second epoch kills
+//     a service mid-migration-storm and proves exactly that.
+//  4. Complete (source loop): retire the source copy and replay the parked
+//     tasks to the destination in order; cached query indexes and the
+//     tenant's attribution meter follow the graph.
+//
+// Writers observe a migration as latency, never as errors: a synchronous
+// writer (one update in flight, awaiting each ack) sees its updates apply
+// in submission order throughout, while a writer pipelining many futures
+// may see tasks parked at the freeze complete after tasks it submitted to
+// the destination post-flip — the same reordering any cross-shard batch
+// already exhibits. Tasks that race a flip and land on a shard that no
+// longer owns the graph re-resolve the routing table and forward
+// themselves (bounded by a hop cap); reads that miss the same window chase
+// the route the same way. The per-handoff write pause (freeze to flip) is
+// recorded in Metrics.MigrationPauseHist, alongside Migrations,
+// MigrationFailures, RoutedGraphs, and per-shard in/out counters — all of
+// it also in the Prometheus exposition.
+//
+// Config.Rebalance runs the rebalancer on top: a background goroutine that
+// samples per-shard busy time every Interval, and when one shard's stays
+// above Threshold× the mean for Sustain consecutive ticks, migrates one
+// hot — but not dominant — graph from it to the coldest shard, with a
+// per-graph Cooldown. A tenant exceeding MaxShare of its shard's load is
+// deliberately never the victim: its updates are serial on any shard, so
+// moving it cannot reduce the imbalance, only thrash it around the
+// cluster. The victim choice comes from the shard's Space-Saving sketch —
+// exactly the HotGraphs signal described under Observability.
 //
 // # Snapshot isolation
 //
@@ -220,9 +281,11 @@
 // records that recovery counts and skips).
 //
 // Recovery (Open with a non-empty WAL directory) is torn-tail tolerant
-// and shard-count independent: all logs are scanned globally, records are
-// rerouted to the current shard mapping, per-graph tails are ordered by
-// sequence number, and anything at or below the checkpoint's sequence is
+// and shard-count independent: the routing table is restored first from
+// the route log (last record per graph wins, entries without a checkpoint
+// fold away, the survivors are compacted back), then all update logs are
+// scanned globally, records are rerouted to the current shard mapping —
+// logged routes included — per-graph tails are ordered by sequence number, and anything at or below the checkpoint's sequence is
 // skipped while a genuine gap fails loudly (ErrCorrupt) instead of
 // silently diverging. In the spirit of the paper's fault-tolerant model
 // (Theorem 14) — serve from the preprocessed structure while updates are

@@ -115,6 +115,11 @@ type ShardMetrics struct {
 	IndexPatchHist      obs.HistSnapshot
 	QueryResolveHist    obs.HistSnapshot
 
+	// Migration traffic: graphs this shard received from / handed to other
+	// shards through completed live migrations.
+	MigrationsIn  uint64
+	MigrationsOut uint64
+
 	// Durability counters; all zero when the service runs without a WAL.
 	// WALRecovering is true while the shard still serves degraded checkpoint
 	// snapshots; WALFailed carries the sticky write-path failure (the shard
@@ -165,6 +170,18 @@ type Metrics struct {
 	IndexBuildHist      obs.HistSnapshot
 	IndexPatchHist      obs.HistSnapshot
 	QueryResolveHist    obs.HistSnapshot
+
+	// Migration and routing state. Migrations counts completed live graph
+	// handoffs, MigrationFailures the attempts that aborted (the graph
+	// stayed where it was), RoutedGraphs the graphs currently routed away
+	// from their hash shard (the routing table's size), and
+	// MigrationPauseHist the distribution of each handoff's write pause —
+	// freeze on the source to routing flip, the window during which the
+	// graph's writes were deferred.
+	Migrations         uint64
+	MigrationFailures  uint64
+	RoutedGraphs       int
+	MigrationPauseHist obs.HistSnapshot
 
 	// Aggregated durability counters (see ShardMetrics). WALRecovering is
 	// true while any shard is degraded; WALTornTails and WALOrphanRecords
@@ -280,6 +297,8 @@ func (s *Service) Metrics() Metrics {
 			IndexBuildHist:      qs.BuildHist,
 			IndexPatchHist:      qs.PatchHist,
 			QueryResolveHist:    qs.ResolveHist,
+			MigrationsIn:        sh.migrationsIn.Load(),
+			MigrationsOut:       sh.migrationsOut.Load(),
 		}
 		sm := &out.Shards[i]
 		if w := sh.w; w != nil {
@@ -334,6 +353,10 @@ func (s *Service) Metrics() Metrics {
 		out.IndexPatchHist.Merge(sm.IndexPatchHist)
 		out.QueryResolveHist.Merge(sm.QueryResolveHist)
 	}
+	out.Migrations = s.migrations.Load()
+	out.MigrationFailures = s.migFailures.Load()
+	out.RoutedGraphs = s.RoutedGraphs()
+	out.MigrationPauseHist = s.migPauseHist.Snapshot()
 	out.WALTornTails = s.walTorn
 	out.WALOrphanRecords = s.walOrphans
 	out.WALRecoveryGraphsTotal = s.recGraphsTotal.Load()

@@ -97,6 +97,18 @@ func writePromMetrics(w io.Writer, m Metrics) error {
 	hist("dfs_index_patch_seconds", "per-index patch derivation time", m.IndexPatchHist, 1e-9)
 	hist("dfs_query_resolve_seconds", "handle resolution latency", m.QueryResolveHist, 1e-9)
 
+	p.Family("dfs_migrations_total", "counter", "completed live graph migrations")
+	p.Value(float64(m.Migrations))
+	p.Family("dfs_migration_failures_total", "counter", "migration attempts that aborted")
+	p.Value(float64(m.MigrationFailures))
+	p.Family("dfs_routed_graphs", "gauge", "graphs routed away from their hash shard")
+	p.Value(float64(m.RoutedGraphs))
+	perShard("dfs_migrations_in_total", "counter", "graphs received through completed migrations",
+		func(sm *ShardMetrics) float64 { return float64(sm.MigrationsIn) })
+	perShard("dfs_migrations_out_total", "counter", "graphs handed off through completed migrations",
+		func(sm *ShardMetrics) float64 { return float64(sm.MigrationsOut) })
+	hist("dfs_migration_pause_seconds", "write pause per migration handoff (freeze to flip)", m.MigrationPauseHist, 1e-9)
+
 	if m.WALEnabled {
 		p.Family("dfs_wal_recovering", "gauge", "1 while any shard serves degraded checkpoint snapshots")
 		p.Value(b2f(m.WALRecovering))

@@ -37,6 +37,7 @@ func goldenMetrics() Metrics {
 				OldestSnapshotAge: 250 * time.Millisecond,
 				PRAMDepth:         900, PRAMWork: 40000, PRAMProcs: 512,
 				IndexCacheSize: 4,
+				MigrationsIn:   1, MigrationsOut: 2,
 			},
 			{
 				Shard: 1, Graphs: 1, QueueDepth: 0, QueueCap: 256, QueueHighWater: 2,
@@ -61,6 +62,9 @@ func goldenMetrics() Metrics {
 		IndexBuildHist:   histOf(400_000, 600_000),
 		IndexPatchHist:   histOf(90_000),
 		QueryResolveHist: histOf(700, 900, 1_200),
+
+		Migrations: 3, MigrationFailures: 1, RoutedGraphs: 2,
+		MigrationPauseHist: histOf(2_500_000, 4_000_000),
 
 		WALEnabled: true, WALRecovering: false,
 		WALRecoveryGraphsTotal: 3, WALRecoveryGraphsDone: 3,

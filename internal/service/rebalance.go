@@ -1,0 +1,198 @@
+package service
+
+import (
+	"time"
+)
+
+// RebalanceConfig tunes the background rebalancer (Config.Rebalance). The
+// zero value of each field selects its documented default.
+type RebalanceConfig struct {
+	// Interval is the tick period: every tick the rebalancer samples each
+	// shard's busy-time delta (apply + publish stage nanoseconds; mailbox
+	// wait excluded) over the window just ended. Default 5s.
+	Interval time.Duration
+	// Threshold is the hysteresis trigger: a shard is "hot" on a tick when
+	// its busy delta exceeds Threshold times the mean across shards.
+	// Default 1.5.
+	Threshold float64
+	// Sustain is how many consecutive hot ticks a shard must accumulate
+	// before a migration is attempted — a burst shorter than
+	// Sustain×Interval never moves anything. Default 3.
+	Sustain int
+	// Cooldown is the per-graph re-migration moratorium: a graph the
+	// rebalancer just moved is not moved again until it elapses, so two hot
+	// shards cannot ping-pong a tenant. Default 30s.
+	Cooldown time.Duration
+	// MaxShare bounds whale-chasing: when the hot shard's top graph holds
+	// more than MaxShare of the shard's sketched apply cost, moving it would
+	// only relocate the hot spot, so the rebalancer moves the next-hottest
+	// graph off the shard instead — isolating the whale. Default 0.5.
+	MaxShare float64
+}
+
+func (c RebalanceConfig) withDefaults() RebalanceConfig {
+	if c.Interval <= 0 {
+		c.Interval = 5 * time.Second
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 1.5
+	}
+	if c.Sustain <= 0 {
+		c.Sustain = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 30 * time.Second
+	}
+	if c.MaxShare <= 0 {
+		c.MaxShare = 0.5
+	}
+	return c
+}
+
+// rebalState is the rebalancer's memory between ticks.
+type rebalState struct {
+	prevBusy []int64 // previous cumulative busy nanos per shard
+	primed   bool    // prevBusy holds a real sample (first tick only observes)
+	streak   []int   // consecutive hot ticks per shard
+	moved    map[GraphID]time.Time
+}
+
+func newRebalState(shards int) *rebalState {
+	return &rebalState{
+		prevBusy: make([]int64, shards),
+		streak:   make([]int, shards),
+		moved:    map[GraphID]time.Time{},
+	}
+}
+
+// runRebalancer is the background rebalancing goroutine: it waits out
+// recovery (degraded shards are busy replaying, not hot), then ticks until
+// CloseContext stops it.
+func (s *Service) runRebalancer(cfg RebalanceConfig) {
+	defer close(s.rebalDone)
+	cfg = cfg.withDefaults()
+	select {
+	case <-s.recovered:
+	case <-s.rebalStop:
+		return
+	}
+	st := newRebalState(len(s.shards))
+	tick := time.NewTicker(cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.rebalStop:
+			return
+		case <-tick.C:
+			s.rebalanceOnce(cfg, st, time.Now())
+		}
+	}
+}
+
+// busyNanos is sh's cumulative on-loop work: every stage except mailbox
+// wait. Wait is excluded deliberately — a backed-up shard's tasks wait long,
+// but wait time is queueing, not capacity spent, and counting it would make
+// an already-hot shard look hotter the longer its queue gets.
+func busyNanos(sh *shard) int64 {
+	var n int64
+	for i := 1; i < len(sh.stageNanos); i++ {
+		n += sh.stageNanos[i].Load()
+	}
+	return n
+}
+
+// rebalanceOnce is one rebalancer tick, separated from the goroutine for
+// tests: sample busy deltas, update hysteresis streaks, and when one shard
+// has stayed above Threshold×mean for Sustain ticks, migrate a hot graph
+// from it to the coldest shard. At most one migration per tick.
+func (s *Service) rebalanceOnce(cfg RebalanceConfig, st *rebalState, now time.Time) {
+	n := len(s.shards)
+	delta := make([]int64, n)
+	var sum int64
+	for i, sh := range s.shards {
+		busy := busyNanos(sh)
+		delta[i] = busy - st.prevBusy[i]
+		st.prevBusy[i] = busy
+		sum += delta[i]
+	}
+	if !st.primed {
+		// First tick: the "delta" was cumulative-since-start, not a window.
+		st.primed = true
+		return
+	}
+	if n < 2 || sum <= 0 {
+		for i := range st.streak {
+			st.streak[i] = 0
+		}
+		return
+	}
+	mean := float64(sum) / float64(n)
+	hot, hotDelta := -1, int64(-1)
+	for i := range delta {
+		if float64(delta[i]) > cfg.Threshold*mean {
+			st.streak[i]++
+			if delta[i] > hotDelta {
+				hot, hotDelta = i, delta[i]
+			}
+		} else {
+			st.streak[i] = 0
+		}
+	}
+	if hot < 0 || st.streak[hot] < cfg.Sustain {
+		return
+	}
+	id, ok := s.pickVictim(s.shards[hot], cfg, st, now)
+	if !ok {
+		return
+	}
+	cold := 0
+	for i := 1; i < n; i++ {
+		if delta[i] < delta[cold] {
+			cold = i
+		}
+	}
+	if cold == hot {
+		return
+	}
+	if err := s.MigrateGraph(id, cold); err != nil {
+		return
+	}
+	st.moved[id] = now
+	st.streak[hot] = 0
+}
+
+// pickVictim chooses which graph to migrate off the hot shard, from its
+// hottest-graphs sketch (descending apply cost): normally the hottest graph,
+// but when that graph alone exceeds MaxShare of the shard's sketched cost,
+// moving it would just relocate the hot spot, so the whale stays pinned and
+// the next-hottest neighbor moves instead. Graphs inside their Cooldown or
+// no longer on the shard are skipped.
+func (s *Service) pickVictim(hotShard *shard, cfg RebalanceConfig, st *rebalState, now time.Time) (GraphID, bool) {
+	items := hotShard.hot.Snapshot() // sorted hottest first
+	if len(items) == 0 {
+		return "", false
+	}
+	var total uint64
+	for _, it := range items {
+		total += it.Count
+	}
+	start := 0
+	if total > 0 && float64(items[0].Count) > cfg.MaxShare*float64(total) {
+		// Even when the whale is the only graph left: its updates are serial
+		// on any shard, so migrating it cannot reduce the imbalance — the
+		// loop below then finds no victim and the shard stays as it is.
+		start = 1
+	}
+	for i := start; i < len(items); i++ {
+		id := GraphID(items[i].Key)
+		if t, ok := st.moved[id]; ok && now.Sub(t) < cfg.Cooldown {
+			continue
+		}
+		// The sketch can lag: confirm the graph still lives here.
+		if s.shardFor(id) != hotShard || hotShard.lookup(id) == nil {
+			continue
+		}
+		return id, true
+	}
+	return "", false
+}

@@ -75,6 +75,12 @@ type Config struct {
 	// the directory's state after a crash. nil disables durability; use
 	// Open (not New) when set, so recovery failures surface as errors.
 	WAL *WALConfig
+	// Rebalance enables the background rebalancer: a goroutine that watches
+	// the shards' busy-time deltas and, when one shard's load stays above
+	// the configured multiple of the mean for the configured number of
+	// ticks, migrates a hot graph off it with MigrateGraph. nil disables
+	// automatic rebalancing; MigrateGraph remains available either way.
+	Rebalance *RebalanceConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +122,24 @@ type Service struct {
 	reg    *obs.Registry
 	closed atomic.Bool
 	wg     sync.WaitGroup
+
+	// Routing state: routes is the atomic copy-on-write graph-to-shard
+	// table (see routing.go) — readers load it lock-free, writers replace
+	// it under routeMu, which also serializes appends to the durable route
+	// log. migMu serializes whole migrations (at most one graph moves at a
+	// time); migrations/migFailures/migPauseHist are the service-level
+	// migration counters and the write-pause distribution per handoff.
+	routes       atomic.Pointer[routeMap]
+	routeMu      sync.Mutex
+	routeLog     *wal.RouteLog
+	migMu        sync.Mutex
+	migrations   atomic.Uint64
+	migFailures  atomic.Uint64
+	migPauseHist obs.Histogram
+
+	// Rebalancer lifecycle (nil channels when Config.Rebalance is unset).
+	rebalStop chan struct{}
+	rebalDone chan struct{}
 
 	// Sampler state: the background goroutine ticks every SampleInterval,
 	// cutting each shard's rate/high-water window and appending one point
@@ -173,11 +197,16 @@ func Open(cfg Config) (*Service, error) {
 		samplerStop: make(chan struct{}),
 		samplerDone: make(chan struct{}),
 	}
+	// Empty routing table: every graph starts on its hash shard. openWAL
+	// replaces it with the durable routes before routing any recovery.
+	empty := make(routeMap)
+	s.routes.Store(&empty)
 	// All shards share one start instant so every first-sample rate window
 	// in Metrics spans the same interval (see Metrics).
 	started := time.Now()
 	for i := range s.shards {
 		sh := &shard{
+			svc:     s,
 			idx:     i,
 			mach:    pram.NewMachineWithWorkers(1, cfg.Workers),
 			mailbox: make(chan task, cfg.MailboxDepth),
@@ -205,6 +234,9 @@ func Open(cfg Config) (*Service, error) {
 					sh.w.log.Close()
 				}
 			}
+			if s.routeLog != nil {
+				s.routeLog.Close()
+			}
 			s.walLock.Release()
 			return nil, err
 		}
@@ -227,7 +259,15 @@ func Open(cfg Config) (*Service, error) {
 			return n
 		})
 	}
+	s.reg.Gauge("routes.size", func() int64 { return int64(s.RoutedGraphs()) })
+	s.reg.Gauge("migrations", func() int64 { return int64(s.migrations.Load()) })
+	s.reg.Gauge("migration_failures", func() int64 { return int64(s.migFailures.Load()) })
 	go s.runSampler()
+	if cfg.Rebalance != nil {
+		s.rebalStop = make(chan struct{})
+		s.rebalDone = make(chan struct{})
+		go s.runRebalancer(*cfg.Rebalance)
+	}
 	return s, nil
 }
 
@@ -284,19 +324,6 @@ func (s *Service) SlowTraces() []obs.Trace {
 
 // NumShards returns the configured shard count.
 func (s *Service) NumShards() int { return len(s.shards) }
-
-func (s *Service) shardFor(id GraphID) *shard {
-	// Inline FNV-1a: the hash.Hash32 route would heap-allocate on every
-	// lock-free read. Reduce in uint32 space: converting the hash to int
-	// first would overflow to a negative index on 32-bit platforms whenever
-	// the high bit is set.
-	h := uint32(2166136261)
-	for i := 0; i < len(id); i++ {
-		h ^= uint32(id[i])
-		h *= 16777619
-	}
-	return s.shards[int(h%uint32(len(s.shards)))]
-}
 
 // CreateGraph registers g under id on its shard and waits for the initial
 // snapshot (static DFS preprocessing runs on the shard loop). g is cloned;
@@ -370,9 +397,10 @@ func (s *Service) ApplyBatch(items []BatchItem) ([]*Future, error) {
 }
 
 // Snapshot returns id's latest published snapshot. It never blocks on the
-// shard's update loop.
+// shard's update loop, and it follows the routing table across live
+// migrations — a reader never observes the handoff.
 func (s *Service) Snapshot(id GraphID) (*Snapshot, error) {
-	gs := s.shardFor(id).lookup(id)
+	_, gs := s.lookupState(id)
 	if gs == nil {
 		return nil, fmt.Errorf("service: graph %q: %w", id, ErrUnknownGraph)
 	}
@@ -420,8 +448,7 @@ type QueryHandle = snapquery.Handle
 // The hot path (version already cached on the shard) is lock-free reads
 // plus one LRU bump — no allocation and no index construction.
 func (s *Service) Query(id GraphID) (*QueryHandle, error) {
-	sh := s.shardFor(id)
-	gs := sh.lookup(id)
+	sh, gs := s.lookupState(id)
 	if gs == nil {
 		return nil, fmt.Errorf("service: graph %q: %w", id, ErrUnknownGraph)
 	}
@@ -501,8 +528,13 @@ func (s *Service) CloseContext(ctx context.Context) error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return ErrClosed
 	}
-	// Stop the sampler before the shards: its goroutine must not outlive
-	// the service, and a final mid-shutdown window would only show drain.
+	// Stop the rebalancer first — it submits migration tasks and must not
+	// race the mailbox close — then the sampler: neither goroutine may
+	// outlive the service.
+	if s.rebalStop != nil {
+		close(s.rebalStop)
+		<-s.rebalDone
+	}
 	close(s.samplerStop)
 	<-s.samplerDone
 	for _, sh := range s.shards {
@@ -516,7 +548,13 @@ func (s *Service) CloseContext(ctx context.Context) error {
 		s.wg.Wait()
 		// Every shard goroutine has exited (logs closed), so the directory
 		// can change owners — also on the deadline path, where this runs
-		// once the background drain completes.
+		// once the background drain completes. The route log closes under
+		// routeMu so it can never race a migration's commit append.
+		if s.routeLog != nil {
+			s.routeMu.Lock()
+			s.routeLog.Close()
+			s.routeMu.Unlock()
+		}
 		s.walLock.Release()
 		close(done)
 	}()

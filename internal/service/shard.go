@@ -23,8 +23,12 @@ const (
 	taskApply
 	taskBatch
 	taskCheck // run the D/graph/tree sync oracle on the shard loop
-	taskFunc  // run an arbitrary closure on the shard loop (tests only)
+	taskFunc  // run an arbitrary closure on the shard loop (migration steps, tests)
 )
+
+// maxForwardHops caps how many times a task can be rerouted after racing
+// migration flips before it fails instead of bouncing forever.
+const maxForwardHops = 16
 
 // task is one mailbox message. Exactly one of the payload fields is set,
 // per kind; fut is always non-nil for create/drop/apply, and batch entries
@@ -35,8 +39,9 @@ type task struct {
 	g        *graph.Graph // create: initial graph (cloned by the maintainer)
 	upd      core.Update  // apply
 	entries  []batchEntry // batch
-	fn       func()       // func (tests: wedge or probe the shard loop)
+	fn       func()       // func (migration protocol steps; tests: wedge or probe the loop)
 	fut      *Future
+	hops     int       // times forwarded across shards after a migration flip
 	enqueued time.Time // stamped by submit; mailbox wait = receive - enqueued
 }
 
@@ -69,6 +74,14 @@ type graphState struct {
 	pendSame    bool
 	pendInvalid bool
 	pendCount   int
+
+	// Migration freeze state (shard loop only). While migrating is set the
+	// graph's tasks are parked in deferred instead of being applied — the
+	// maintainer must not advance past the checkpoint the migration pinned.
+	// The coordinator replays deferred on the destination after the route
+	// flips (or back here on abort), preserving submission order.
+	migrating bool
+	deferred  []task
 }
 
 // absorb folds one applied update's delta into the pending set.
@@ -100,6 +113,10 @@ func (gs *graphState) invalidatePending() {
 // the pram.Machine whose worker pool and merged depth/work accounting all
 // of them share.
 type shard struct {
+	// svc points back to the owning Service for routing decisions (straggler
+	// forwarding after a migration flip, durable route removal on drop). nil
+	// in tests that construct bare shards.
+	svc     *Service
 	idx     int
 	mach    *pram.Machine
 	mailbox chan task
@@ -158,6 +175,11 @@ type shard struct {
 	stageNanos [5]atomic.Int64
 	slow       *obs.SlowRing
 
+	// migrationsIn/Out count graphs this shard received from / handed to
+	// another shard through completed migrations.
+	migrationsIn  atomic.Uint64
+	migrationsOut atomic.Uint64
+
 	// w is the shard's durability state; nil when the service runs without
 	// a write-ahead log. stopped flips when the goroutine exits, so a
 	// deadline-bounded shutdown can report which shards are still running.
@@ -201,6 +223,16 @@ func (sh *shard) run(wg *sync.WaitGroup, headroom int) {
 	for t := range sh.mailbox {
 		sh.handle(t, headroom)
 	}
+	// A migration frozen when the service closed leaves parked tasks whose
+	// futures nobody will replay: resolve them so their writers never hang.
+	sh.mu.RLock()
+	for _, gs := range sh.graphs {
+		for _, dt := range gs.deferred {
+			dt.fut.resolve(-1, nil, ErrClosed)
+		}
+		gs.deferred = nil
+	}
+	sh.mu.RUnlock()
 	if sh.w != nil {
 		sh.w.log.Close()
 	}
@@ -213,11 +245,45 @@ func (sh *shard) lookup(id GraphID) *graphState {
 	return gs
 }
 
+// forwardTask reroutes a task that landed here for a graph this shard does
+// not hold, when the routing table says another shard owns it — the task
+// was submitted against a route that a migration flipped before the
+// mailbox drained to it. The forward runs on its own goroutine because a
+// shard loop must never block on another shard's (possibly full) mailbox;
+// hops caps pathological bouncing under back-to-back migrations. Returns
+// false when the task is genuinely for an unknown graph (this shard is the
+// routed owner) and the caller should reject it.
+func (sh *shard) forwardTask(t task) bool {
+	if sh.svc == nil || t.hops >= maxForwardHops {
+		return false
+	}
+	target := sh.svc.shardFor(t.id)
+	if target == sh {
+		return false
+	}
+	t.hops++
+	go func(t task) {
+		if err := target.submit(t); err != nil {
+			t.fut.resolve(-1, nil, err)
+		}
+	}(t)
+	return true
+}
+
+// deferTask parks a task for a frozen (mid-migration) graph; the
+// coordinator replays the parked tasks in order once the handoff resolves.
+func (gs *graphState) deferTask(t task) {
+	gs.deferred = append(gs.deferred, t)
+}
+
 func (sh *shard) handle(t task, headroom int) {
 	switch t.kind {
 	case taskCreate:
 		if sh.lookup(t.id) != nil {
 			t.fut.resolve(-1, nil, fmt.Errorf("service: graph %q: %w", t.id, ErrGraphExists))
+			return
+		}
+		if sh.forwardTask(t) {
 			return
 		}
 		if err := sh.walGate(); err != nil {
@@ -261,7 +327,14 @@ func (sh *shard) handle(t task, headroom int) {
 	case taskDrop:
 		gs := sh.lookup(t.id)
 		if gs == nil {
+			if sh.forwardTask(t) {
+				return
+			}
 			t.fut.resolve(-1, nil, fmt.Errorf("service: graph %q: %w", t.id, ErrUnknownGraph))
+			return
+		}
+		if gs.migrating {
+			gs.deferTask(t)
 			return
 		}
 		if err := sh.walGate(); err != nil {
@@ -271,23 +344,15 @@ func (sh *shard) handle(t task, headroom int) {
 		sh.mu.Lock()
 		delete(sh.graphs, t.id)
 		sh.mu.Unlock()
+		if sh.svc != nil {
+			sh.svc.dropRoute(t.id)
+		}
 		sh.qcache.DropGraph(string(t.id))
 		sh.hot.Remove(string(t.id))
 		// taskCreate grew the machine's model processor budget to the
 		// per-instance maximum; recompute it over the survivors so model
-		// depth charges stop being divided by a departed tenant's m. The
-		// maintainers are only touched by this goroutine, so reading their
-		// current graphs here is race-free.
-		procs := 1
-		sh.mu.RLock()
-		for _, rest := range sh.graphs {
-			g := rest.dd.Frozen()
-			if p := 2*g.NumEdges() + g.NumVertexSlots() + 1; p > procs {
-				procs = p
-			}
-		}
-		sh.mu.RUnlock()
-		sh.mach.SetProcs(procs)
+		// depth charges stop being divided by a departed tenant's m.
+		sh.recomputeProcs()
 		if w := sh.w; w != nil {
 			// Remove the graph durably: delete its checkpoints first, then
 			// rotate (re-checkpoint survivors + truncate the log) so its
@@ -306,7 +371,14 @@ func (sh *shard) handle(t task, headroom int) {
 	case taskApply:
 		gs := sh.lookup(t.id)
 		if gs == nil {
+			if sh.forwardTask(t) {
+				return
+			}
 			t.fut.resolve(-1, nil, fmt.Errorf("service: graph %q: %w", t.id, ErrUnknownGraph))
+			return
+		}
+		if gs.migrating {
+			gs.deferTask(t)
 			return
 		}
 		if err := sh.walGate(); err != nil {
@@ -376,7 +448,17 @@ func (sh *shard) handle(t task, headroom int) {
 			}
 			gs := sh.lookup(en.id)
 			if gs == nil {
+				// Unwrap the entry into a standalone apply so it can chase the
+				// graph's new shard alone; the rest of the round is unaffected.
+				et := task{kind: taskApply, id: en.id, upd: en.upd, fut: en.fut, hops: t.hops, enqueued: t.enqueued}
+				if sh.forwardTask(et) {
+					continue
+				}
 				en.fut.resolve(-1, nil, fmt.Errorf("service: graph %q: %w", en.id, ErrUnknownGraph))
+				continue
+			}
+			if gs.migrating {
+				gs.deferTask(task{kind: taskApply, id: en.id, upd: en.upd, fut: en.fut, enqueued: t.enqueued})
 				continue
 			}
 			r := resolution{fut: en.fut, gs: gs}
@@ -441,7 +523,14 @@ func (sh *shard) handle(t task, headroom int) {
 	case taskCheck:
 		gs := sh.lookup(t.id)
 		if gs == nil {
+			if sh.forwardTask(t) {
+				return
+			}
 			t.fut.resolve(-1, nil, fmt.Errorf("service: graph %q: %w", t.id, ErrUnknownGraph))
+			return
+		}
+		if gs.migrating {
+			gs.deferTask(t)
 			return
 		}
 		err := gs.dd.D().CheckSynced(gs.dd.Frozen(), gs.dd.Tree())

@@ -21,8 +21,7 @@ type TenantMetrics struct {
 // TenantMetrics samples id's cost counters. Lock-free reads only: it never
 // touches the shard's update loop.
 func (s *Service) TenantMetrics(id GraphID) (TenantMetrics, error) {
-	sh := s.shardFor(id)
-	gs := sh.lookup(id)
+	sh, gs := s.lookupState(id)
 	if gs == nil {
 		return TenantMetrics{}, fmt.Errorf("service: graph %q: %w", id, ErrUnknownGraph)
 	}
@@ -52,23 +51,32 @@ type HotGraph struct {
 }
 
 // HotGraphs returns the service's k most expensive graphs by cumulative
-// apply cost, hottest first, by merging each shard's Space-Saving sketch
-// (graphs are shard-pinned, so the per-shard sketches never split one
-// graph's weight). Each entry carries the graph's exact meter sample;
-// entries whose graph was dropped after the sketch snapshot are omitted.
-// This is the rebalancer's signal: a shard whose hot set is dominated by
-// one tenant is a candidate for moving its cold tenants elsewhere.
+// apply cost, hottest first, by merging each shard's Space-Saving sketch.
+// A migrated graph can appear in two shards' sketches — the destination is
+// seeded with the source's estimate before the source entry is removed, and
+// cost accrued before an old migration stays in the source's sketch until it
+// ages out — so duplicates keep the largest estimate rather than summing,
+// which would double-count the seed. Each entry carries the graph's exact
+// meter sample, read from its current owning shard (the routing table, not
+// the sketch's shard); entries whose graph was dropped after the sketch
+// snapshot are omitted. This is the rebalancer's signal: a shard whose hot
+// set is dominated by one tenant is a candidate for moving its cold tenants
+// elsewhere.
 func (s *Service) HotGraphs(k int) []HotGraph {
 	if k <= 0 {
 		return nil
 	}
-	var items []obs.SpaceItem
-	byKey := make(map[string]*shard)
+	best := map[string]obs.SpaceItem{}
 	for _, sh := range s.shards {
 		for _, it := range sh.hot.Snapshot() {
-			items = append(items, it)
-			byKey[it.Key] = sh
+			if cur, ok := best[it.Key]; !ok || it.Count > cur.Count {
+				best[it.Key] = it
+			}
 		}
+	}
+	items := make([]obs.SpaceItem, 0, len(best))
+	for _, it := range best {
+		items = append(items, it)
 	}
 	sort.Slice(items, func(i, j int) bool {
 		if items[i].Count != items[j].Count {
@@ -81,8 +89,7 @@ func (s *Service) HotGraphs(k int) []HotGraph {
 		if len(out) == k {
 			break
 		}
-		sh := byKey[it.Key]
-		gs := sh.lookup(GraphID(it.Key))
+		sh, gs := s.lookupState(GraphID(it.Key))
 		if gs == nil {
 			continue // dropped since the sketch snapshot
 		}

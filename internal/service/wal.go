@@ -138,6 +138,18 @@ func (s *Service) openWAL() error {
 	if err != nil {
 		return fmt.Errorf("service: recovery: %w", err)
 	}
+	// Install the durable routing table before the scan below routes any
+	// graph: a migration that committed (route record fsynced) before the
+	// crash must place its graph on the destination shard, and one that did
+	// not must fall back to the previous route or the hash default.
+	rlog, routeRecs, err := wal.OpenRoutes(wc.Dir)
+	if err != nil {
+		return fmt.Errorf("service: recovery: %w", err)
+	}
+	s.routeLog = rlog
+	if err := s.loadRoutes(routeRecs, ckpts); err != nil {
+		return fmt.Errorf("service: recovery: %w", err)
+	}
 	for _, sh := range s.shards {
 		sh.w = &shardWAL{
 			cfg:       wc,
@@ -166,6 +178,13 @@ func (s *Service) openWAL() error {
 	var logFiles []string
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".wal") {
+			continue
+		}
+		if e.Name() == wal.RoutesFile {
+			// The route log is not an update log: it has its own framing and
+			// its own lifecycle (loadRoutes compacted it above). Without this
+			// skip it would be read as a shard log and — owned by no shard —
+			// deleted as stale after recovery.
 			continue
 		}
 		path := filepath.Join(wc.Dir, e.Name())

@@ -554,14 +554,10 @@ func TestWALTornTailAndOrphans(t *testing.T) {
 	}
 }
 
-// shardIndex mirrors Service.shardFor's FNV-1a routing for test planning.
+// shardIndex is Service.defaultShard's hash routing for test planning —
+// the same routeHash the serving path uses, so the two can never drift.
 func shardIndex(id GraphID, shards int) int {
-	h := uint32(2166136261)
-	for i := 0; i < len(id); i++ {
-		h ^= uint32(id[i])
-		h *= 16777619
-	}
-	return int(h % uint32(shards))
+	return int(routeHash(id) % uint32(shards))
 }
 
 // reshardIDs returns two graph IDs that land on shard 0 and shard 1 under

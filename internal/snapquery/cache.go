@@ -178,6 +178,57 @@ func (c *Cache) DropGraph(graphName string) {
 	c.mu.Unlock()
 }
 
+// MoveGraph transfers every cached version of the named graph into dst (the
+// graph migrated to another shard), preserving relative recency: entries are
+// extracted here most-recent-first and pushed onto dst's front in reverse,
+// so they arrive in the same order at dst's most-recent end. A version dst
+// already caches keeps dst's copy (it is bumped instead), and dst's capacity
+// is enforced afterwards. Moved handles keep observing the source cache's
+// counters — a handle captures its observe callback at creation — so index
+// work started before the move is attributed where it began; the skew lasts
+// only until those versions age out. Locks are taken one cache at a time
+// (source, then destination), never nested.
+func (c *Cache) MoveGraph(graphName string, dst *Cache) {
+	if c == dst {
+		return
+	}
+	c.mu.Lock()
+	var moved []*Handle // most recently used first
+	var next *list.Element
+	for el := c.lru.Front(); el != nil; el = next {
+		next = el.Next()
+		h := el.Value.(*Handle)
+		if h.key.Graph == graphName {
+			c.lru.Remove(el)
+			delete(c.byKey, h.key)
+			c.size.Add(-1)
+			moved = append(moved, h)
+		}
+	}
+	c.mu.Unlock()
+	if len(moved) == 0 {
+		return
+	}
+	dst.mu.Lock()
+	for i := len(moved) - 1; i >= 0; i-- {
+		h := moved[i]
+		if el, ok := dst.byKey[h.key]; ok {
+			dst.lru.MoveToFront(el)
+			continue
+		}
+		dst.byKey[h.key] = dst.lru.PushFront(h)
+		dst.size.Add(1)
+	}
+	for dst.lru.Len() > dst.capacity {
+		back := dst.lru.Back()
+		dst.lru.Remove(back)
+		delete(dst.byKey, back.Value.(*Handle).key)
+		dst.evictions.Add(1)
+		dst.size.Add(-1)
+	}
+	dst.mu.Unlock()
+}
+
 // Stats is a point-in-time sample of the cache's counters. Evictions counts
 // only capacity aging (the LRU is full and the oldest version falls off);
 // versions removed because their graph was dropped or because a
